@@ -1,0 +1,130 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (see DESIGN.md §5 for the experiment index). These
+// run the same code paths as cmd/experiments at laptop scales; raise
+// -scale there for paper-sized runs. Regenerate everything with
+//
+//	go test -bench=. -benchmem
+package mrmcminh
+
+import (
+	"testing"
+
+	"github.com/metagenomics/mrmcminh/internal/bench"
+	"github.com/metagenomics/mrmcminh/internal/simulate"
+)
+
+// table3Config is a scaled-down Table III configuration.
+func table3Config() bench.Config {
+	cfg := bench.DefaultConfig()
+	cfg.Scale = 0.006
+	cfg.SimOptions.MaxPairsPerCluster = 30
+	return cfg
+}
+
+// BenchmarkTable3 regenerates Table III (whole-metagenome comparison of
+// MrMC-MinH^h, MrMC-MinH^g and MetaCluster) on a representative subset.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table3(table3Config(), []string{"S1", "S9", "R1"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table IV (16S simulated set at 3%/5% error,
+// all eight methods).
+func BenchmarkTable4(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	cfg.Scale = 0.0006
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates Table V (16S environmental samples, all
+// eight methods) on one representative sample.
+func BenchmarkTable5(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	cfg.Scale = 0.015
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table5(cfg, []string{"53R"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the Figure 2 runtime-vs-nodes-and-size
+// grid (small sizes executed, large sizes modelled).
+func BenchmarkFigure2(b *testing.B) {
+	cfg := bench.Figure2Config{
+		Nodes:        []int{2, 4, 8, 12},
+		Reads:        []int{1000, 100000, 10000000},
+		ExecuteLimit: 1000,
+		Seed:         1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationThetaHashes regenerates experiment E5 (θ and hash-count
+// sweep over greedy and hierarchical modes).
+func BenchmarkAblationThetaHashes(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	cfg.Scale = 0.002
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationThetaHashes(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEstimator regenerates experiment E6 (Jaccard estimator
+// accuracy vs hash count).
+func BenchmarkAblationEstimator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.EstimatorAblation(100, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterGreedy measures the public-API greedy path end to end.
+func BenchmarkClusterGreedy(b *testing.B) {
+	spec, err := simulate.TableIISpec("S1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, _, err := simulate.BuildWholeMetagenome(spec, 0.01, 0.005, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(reads, Options{K: 20, NumHashes: 100, Theta: 0.3, Mode: Greedy, Canonical: true, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterHierarchical measures the public-API hierarchical path.
+func BenchmarkClusterHierarchical(b *testing.B) {
+	spec, err := simulate.TableIISpec("S1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, _, err := simulate.BuildWholeMetagenome(spec, 0.01, 0.005, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(reads, Options{K: 20, NumHashes: 100, Theta: 0.55, Mode: Hierarchical, Canonical: true, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

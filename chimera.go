@@ -1,0 +1,28 @@
+package mrmcminh
+
+import "github.com/metagenomics/mrmcminh/internal/chimera"
+
+// PCR-chimera tooling — simulation of spliced artefact reads and
+// UCHIME-style detection against reference (or cluster-representative)
+// sequences. Chimera removal before clustering prevents spurious OTUs.
+
+// ChimeraOptions tunes chimera detection.
+type ChimeraOptions = chimera.DetectorOptions
+
+// ChimeraVerdict is one detection outcome.
+type ChimeraVerdict = chimera.Verdict
+
+// ChimeraDetector checks reads against indexed references.
+type ChimeraDetector = chimera.Detector
+
+// NewChimeraDetector indexes references (e.g. cluster consensus
+// sequences) for chimera checks.
+func NewChimeraDetector(refs []Record, opt ChimeraOptions) (*ChimeraDetector, error) {
+	return chimera.NewDetector(refs, opt)
+}
+
+// SimulateChimeras splices artificial chimeric reads from parent
+// sequences — useful for validating detection settings.
+func SimulateChimeras(parents []Record, count int, seed int64) ([]Record, [][2]int, error) {
+	return chimera.Simulate(parents, count, seed)
+}

@@ -1,0 +1,65 @@
+package mrmcminh_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/metagenomics/mrmcminh"
+)
+
+// Example clusters six short reads with the greedy algorithm.
+func Example() {
+	reads, err := mrmcminh.ParseFasta(strings.NewReader(`>a1
+ACGTACGGTTCAGGCATTACGGATCAGGTTACGGATTACG
+>a2
+ACGTACGGTTCAGGCATTACGGATCAGGTTACGGATTACC
+>b1
+TTGACCATGGCCAATTGACCGGTTAACGGTCCATGGACCT
+>b2
+TTGACCATGGCCAATTGACCGGTTAACGGTCCATGGACCA
+`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mrmcminh.Cluster(reads, mrmcminh.Options{
+		K: 8, NumHashes: 100, Theta: 0.5, Mode: mrmcminh.Greedy, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.NumClusters(), "clusters")
+	// Output: 2 clusters
+}
+
+// ExampleEstimateJaccard shows the core minhash primitive directly.
+func ExampleEstimateJaccard() {
+	a := mrmcminh.Record{ID: "a", Seq: []byte("ACGTACGGTTCAGGCATTACGGATCAGG")}
+	j, err := mrmcminh.EstimateJaccard(a, a, 8, 100, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("self similarity %.1f\n", j)
+	// Output: self similarity 1.0
+}
+
+// ExampleCluster_hierarchical runs Algorithm 2 and inspects the result.
+func ExampleCluster_hierarchical() {
+	reads := []mrmcminh.Record{
+		{ID: "x1", Seq: []byte("ACGTACGGTTCAGGCATTACGGATCAGGTTAC")},
+		{ID: "x2", Seq: []byte("ACGTACGGTTCAGGCATTACGGATCAGGTTAG")},
+		{ID: "y1", Seq: []byte("GGGGCCCCAAAATTTTGGGGCCCCAAAATTTT")},
+	}
+	res, err := mrmcminh.Cluster(reads, mrmcminh.Options{
+		K: 8, NumHashes: 100, Theta: 0.5,
+		Mode: mrmcminh.Hierarchical, Linkage: mrmcminh.AverageLinkage, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("x1 with x2:", res.Assignments[0] == res.Assignments[1])
+	fmt.Println("x1 with y1:", res.Assignments[0] == res.Assignments[2])
+	// Output:
+	// x1 with x2: true
+	// x1 with y1: false
+}

@@ -1,0 +1,9 @@
+package mrmcminh
+
+import "github.com/metagenomics/mrmcminh/internal/kmer"
+
+// newExtractor wraps kmer.NewExtractor for the facade without exposing the
+// internal package in the public signature set.
+func newExtractor(k int) (*kmer.Extractor, error) {
+	return kmer.NewExtractor(k)
+}

@@ -1,0 +1,3 @@
+module github.com/metagenomics/mrmcminh
+
+go 1.22

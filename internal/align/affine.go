@@ -1,0 +1,139 @@
+package align
+
+// Affine-gap global alignment (Gotoh 1982): gap cost = Open + k·Extend
+// for a k-base gap, which models sequencing indels far better than the
+// linear scheme — one long 454 homopolymer slip should cost little more
+// than a short one. Three DP layers track match (M), gap-in-b (X,
+// consuming a) and gap-in-a (Y, consuming b) states.
+
+// AffineScoring defines match/mismatch plus affine gap penalties.
+type AffineScoring struct {
+	Match    int // positive
+	Mismatch int // typically negative
+	// GapOpen is charged once per gap *opening* (in addition to the first
+	// extension), GapExtend per gap position. Both typically negative.
+	GapOpen   int
+	GapExtend int
+}
+
+// DefaultAffineScoring is a conventional DNA scheme: +1/-1, open -3,
+// extend -1.
+var DefaultAffineScoring = AffineScoring{Match: 1, Mismatch: -1, GapOpen: -3, GapExtend: -1}
+
+// GlobalAffine computes the optimal global alignment score and identity
+// statistics under affine gap costs.
+func GlobalAffine(a, b []byte, sc AffineScoring) Result {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		gaps := n + m
+		score := 0
+		if gaps > 0 {
+			score = sc.GapOpen + gaps*sc.GapExtend
+		}
+		return Result{Score: score, AlignedLen: gaps}
+	}
+	const negInf = int32(-1 << 29)
+	// Layer values for the previous and current rows.
+	type cell struct{ m, x, y int32 }
+	prev := make([]cell, m+1)
+	cur := make([]cell, m+1)
+	// Traceback: 2 bits per layer per cell — store per-layer moves.
+	// moves[layer][i*(m+1)+j]: for M: 0 diag-from-M, 1 diag-from-X,
+	// 2 diag-from-Y; for X: 0 open-from-M, 1 extend; for Y likewise.
+	sz := (n + 1) * (m + 1)
+	mMove := make([]byte, sz)
+	xMove := make([]byte, sz)
+	yMove := make([]byte, sz)
+
+	open := int32(sc.GapOpen)
+	ext := int32(sc.GapExtend)
+
+	prev[0] = cell{m: 0, x: negInf, y: negInf}
+	for j := 1; j <= m; j++ {
+		prev[j] = cell{m: negInf, x: negInf, y: open + int32(j)*ext}
+		yMove[j] = 1
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = cell{m: negInf, x: open + int32(i)*ext, y: negInf}
+		xMove[i*(m+1)] = 1
+		ai := a[i-1]
+		for j := 1; j <= m; j++ {
+			idx := i*(m+1) + j
+			sub := int32(sc.Mismatch)
+			if ai == b[j-1] {
+				sub = int32(sc.Match)
+			}
+			// M: diagonal from best of prev layers.
+			pm := prev[j-1]
+			bestM, mv := pm.m, byte(0)
+			if pm.x > bestM {
+				bestM, mv = pm.x, 1
+			}
+			if pm.y > bestM {
+				bestM, mv = pm.y, 2
+			}
+			cur[j].m = bestM + sub
+			mMove[idx] = mv
+			// X: gap in b (consume a) — from previous row.
+			openX := prev[j].m + open + ext
+			extX := prev[j].x + ext
+			if openX >= extX {
+				cur[j].x = openX
+				xMove[idx] = 0
+			} else {
+				cur[j].x = extX
+				xMove[idx] = 1
+			}
+			// Y: gap in a (consume b) — from current row.
+			openY := cur[j-1].m + open + ext
+			extY := cur[j-1].y + ext
+			if openY >= extY {
+				cur[j].y = openY
+				yMove[idx] = 0
+			} else {
+				cur[j].y = extY
+				yMove[idx] = 1
+			}
+		}
+		prev, cur = cur, prev
+	}
+	final := prev[m]
+	layer := 0 // 0=M 1=X 2=Y
+	score := final.m
+	if final.x > score {
+		score, layer = final.x, 1
+	}
+	if final.y > score {
+		score, layer = final.y, 2
+	}
+
+	// Traceback.
+	matches, length := 0, 0
+	i, j := n, m
+	for i > 0 || j > 0 {
+		idx := i*(m+1) + j
+		switch layer {
+		case 0:
+			length++
+			if a[i-1] == b[j-1] {
+				matches++
+			}
+			layer = int(mMove[idx])
+			i--
+			j--
+		case 1:
+			length++
+			if xMove[idx] == 0 {
+				layer = 0
+			}
+			i--
+		default:
+			length++
+			if yMove[idx] == 0 {
+				layer = 0
+			}
+			j--
+		}
+	}
+	return Result{Score: int(score), Matches: matches, AlignedLen: length}
+}

@@ -1,0 +1,124 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAffineIdentical(t *testing.T) {
+	s := []byte("ACGTACGTAC")
+	r := GlobalAffine(s, s, DefaultAffineScoring)
+	if r.Score != 10 || r.Matches != 10 || r.AlignedLen != 10 || r.Identity() != 1 {
+		t.Fatalf("unexpected %+v", r)
+	}
+}
+
+func TestAffineEmptySides(t *testing.T) {
+	sc := DefaultAffineScoring
+	r := GlobalAffine(nil, []byte("ACGT"), sc)
+	if r.Score != sc.GapOpen+4*sc.GapExtend || r.AlignedLen != 4 {
+		t.Fatalf("unexpected %+v", r)
+	}
+	r = GlobalAffine(nil, nil, sc)
+	if r.Score != 0 || r.AlignedLen != 0 {
+		t.Fatalf("unexpected %+v", r)
+	}
+}
+
+func TestAffineReducesToLinearWhenOpenIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		a := randSeq(rng, 5+rng.Intn(40))
+		b := randSeq(rng, 5+rng.Intn(40))
+		lin := Global(a, b, Scoring{Match: 1, Mismatch: -1, Gap: -2})
+		aff := GlobalAffine(a, b, AffineScoring{Match: 1, Mismatch: -1, GapOpen: 0, GapExtend: -2})
+		if lin.Score != aff.Score {
+			t.Fatalf("trial %d: affine(open=0) score %d != linear %d", trial, aff.Score, lin.Score)
+		}
+	}
+}
+
+func TestAffinePrefersOneLongGap(t *testing.T) {
+	// Sequence b = a with a 6-base block deleted. Under affine costs the
+	// optimal alignment is one 6-gap (open + 6*extend), which the score
+	// should reflect exactly; under the equivalent linear cost the gap
+	// would be much more expensive.
+	a := []byte("ACGTACGGTTCAGGCATTAC")
+	b := append(append([]byte{}, a[:7]...), a[13:]...)
+	sc := AffineScoring{Match: 1, Mismatch: -2, GapOpen: -4, GapExtend: -1}
+	r := GlobalAffine(a, b, sc)
+	wantScore := 14*sc.Match + sc.GapOpen + 6*sc.GapExtend
+	if r.Score != wantScore {
+		t.Fatalf("score %d, want %d (%+v)", r.Score, wantScore, r)
+	}
+	if r.Matches != 14 || r.AlignedLen != 20 {
+		t.Fatalf("stats %+v", r)
+	}
+}
+
+func TestAffineTwoGapsCostTwoOpens(t *testing.T) {
+	// b misses two separate 2-base blocks: two opens must be paid.
+	a := []byte("AACCGGTTAACCGGTT")
+	b := []byte("AACCTTAAGGTT") // drop GG (pos 4-5) and CC (pos 10-11)
+	sc := AffineScoring{Match: 1, Mismatch: -3, GapOpen: -2, GapExtend: -1}
+	r := GlobalAffine(a, b, sc)
+	wantScore := 12*sc.Match + 2*(sc.GapOpen+2*sc.GapExtend)
+	if r.Score != wantScore {
+		t.Fatalf("score %d, want %d", r.Score, wantScore)
+	}
+}
+
+func TestAffineSymmetricScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		a := randSeq(rng, 10+rng.Intn(50))
+		b := randSeq(rng, 10+rng.Intn(50))
+		r1 := GlobalAffine(a, b, DefaultAffineScoring)
+		r2 := GlobalAffine(b, a, DefaultAffineScoring)
+		if r1.Score != r2.Score {
+			t.Fatalf("asymmetric: %d vs %d", r1.Score, r2.Score)
+		}
+	}
+}
+
+func TestAffineStatsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		a := randSeq(rng, rng.Intn(60))
+		b := randSeq(rng, rng.Intn(60))
+		r := GlobalAffine(a, b, DefaultAffineScoring)
+		longer := len(a)
+		if len(b) > longer {
+			longer = len(b)
+		}
+		if r.AlignedLen < longer || r.AlignedLen > len(a)+len(b) {
+			t.Fatalf("aligned len %d outside bounds", r.AlignedLen)
+		}
+		if r.Matches < 0 || r.Matches > r.AlignedLen {
+			t.Fatalf("matches %d of %d", r.Matches, r.AlignedLen)
+		}
+	}
+}
+
+func TestAffineHomopolymerSlipIsCheap(t *testing.T) {
+	// The 454 error case: an 8-A run reads as 9 As. Affine cost charges
+	// one open + one extend; identity stays high.
+	a := []byte("CGTAAAAAAAACGTCGTCGT")
+	b := []byte("CGTAAAAAAAAACGTCGTCGT")
+	r := GlobalAffine(a, b, DefaultAffineScoring)
+	if r.Matches != 20 || r.AlignedLen != 21 {
+		t.Fatalf("stats %+v", r)
+	}
+	if r.Identity() < 0.95 {
+		t.Fatalf("identity %.3f", r.Identity())
+	}
+}
+
+func BenchmarkAffine200bp(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := randSeq(rng, 200), randSeq(rng, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = GlobalAffine(x, y, DefaultAffineScoring)
+	}
+}

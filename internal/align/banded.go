@@ -1,0 +1,127 @@
+package align
+
+// GlobalBanded computes a banded Needleman–Wunsch alignment constrained to
+// diagonals within `band` of the main diagonal (adjusted for the length
+// difference). For highly similar sequences — the regime sequence
+// clustering cares about — a narrow band gives the same alignment at a
+// fraction of the cost. Cells outside the band are treated as -infinity.
+//
+// If band < |len(a)-len(b)| the band is widened to make an alignment
+// possible at all.
+func GlobalBanded(a, b []byte, sc Scoring, band int) Result {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return Result{Score: sc.Gap * (n + m), Matches: 0, AlignedLen: n + m}
+	}
+	diff := n - m
+	if diff < 0 {
+		diff = -diff
+	}
+	if band < diff+1 {
+		band = diff + 1
+	}
+	if band >= m {
+		return Global(a, b, sc) // band covers everything
+	}
+
+	const (
+		diag = byte(0)
+		up   = byte(1)
+		left = byte(2)
+		none = byte(3)
+	)
+	negInf := int32(-1 << 30)
+	width := 2*band + 1
+	// score[i] holds row i over columns j in [i-band, i+band]; index by
+	// offset j-(i-band).
+	trace := make([]byte, (n+1)*width)
+	for i := range trace {
+		trace[i] = none
+	}
+	prev := make([]int32, width)
+	cur := make([]int32, width)
+
+	// Row 0: columns 0..band.
+	for o := 0; o < width; o++ {
+		j := o - band // j - (0 - band) = o
+		switch {
+		case j < 0 || j > m:
+			prev[o] = negInf
+		case j == 0:
+			prev[o] = 0
+		default:
+			prev[o] = int32(sc.Gap) * int32(j)
+			trace[o] = left
+		}
+	}
+	for i := 1; i <= n; i++ {
+		lo, hi := i-band, i+band
+		row := trace[i*width:]
+		for o := 0; o < width; o++ {
+			j := lo + o
+			if j < 0 || j > m {
+				cur[o] = negInf
+				continue
+			}
+			if j == 0 {
+				cur[o] = int32(sc.Gap) * int32(i)
+				row[o] = up
+				continue
+			}
+			sub := int32(sc.Mismatch)
+			if a[i-1] == b[j-1] {
+				sub = int32(sc.Match)
+			}
+			// prev row offsets: same j is o+1 (row shifts right by 1),
+			// j-1 is o.
+			best, dir := negInf, none
+			if d := prev[o]; d > negInf {
+				best, dir = d+sub, diag
+			}
+			if o+1 < width && prev[o+1] > negInf {
+				if u := prev[o+1] + int32(sc.Gap); u > best {
+					best, dir = u, up
+				}
+			}
+			if o-1 >= 0 && cur[o-1] > negInf {
+				if l := cur[o-1] + int32(sc.Gap); l > best {
+					best, dir = l, left
+				}
+			}
+			cur[o] = best
+			row[o] = dir
+		}
+		_ = hi
+		prev, cur = cur, prev
+	}
+	// Final cell: row n, column m -> offset m-(n-band).
+	fo := m - (n - band)
+	score := int(prev[fo])
+
+	matches, length := 0, 0
+	i, j := n, m
+	for i > 0 || j > 0 {
+		o := j - (i - band)
+		length++
+		switch trace[i*width+o] {
+		case diag:
+			if a[i-1] == b[j-1] {
+				matches++
+			}
+			i--
+			j--
+		case up:
+			i--
+		case left:
+			j--
+		default:
+			// Outside-band cell reached (shouldn't happen); bail to gaps.
+			if i > 0 {
+				i--
+			} else {
+				j--
+			}
+		}
+	}
+	return Result{Score: score, Matches: matches, AlignedLen: length}
+}

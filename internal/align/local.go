@@ -1,0 +1,73 @@
+package align
+
+// Local computes a Smith–Waterman local alignment: the best-scoring pair of
+// substrings of a and b. Used by seed-extension style baselines to verify
+// candidate hits.
+func Local(a, b []byte, sc Scoring) Result {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return Result{}
+	}
+	const (
+		stop = byte(0)
+		diag = byte(1)
+		up   = byte(2)
+		left = byte(3)
+	)
+	trace := make([]byte, (n+1)*(m+1))
+	prev := make([]int32, m+1)
+	cur := make([]int32, m+1)
+	var bestScore int32
+	bestI, bestJ := 0, 0
+
+	for i := 1; i <= n; i++ {
+		ai := a[i-1]
+		row := trace[i*(m+1):]
+		cur[0] = 0
+		for j := 1; j <= m; j++ {
+			sub := int32(sc.Mismatch)
+			if ai == b[j-1] {
+				sub = int32(sc.Match)
+			}
+			best, dir := int32(0), stop
+			if d := prev[j-1] + sub; d > best {
+				best, dir = d, diag
+			}
+			if u := prev[j] + int32(sc.Gap); u > best {
+				best, dir = u, up
+			}
+			if l := cur[j-1] + int32(sc.Gap); l > best {
+				best, dir = l, left
+			}
+			cur[j] = best
+			row[j] = dir
+			if best > bestScore {
+				bestScore, bestI, bestJ = best, i, j
+			}
+		}
+		prev, cur = cur, prev
+	}
+
+	matches, length := 0, 0
+	i, j := bestI, bestJ
+	for i > 0 && j > 0 {
+		dir := trace[i*(m+1)+j]
+		if dir == stop {
+			break
+		}
+		length++
+		switch dir {
+		case diag:
+			if a[i-1] == b[j-1] {
+				matches++
+			}
+			i--
+			j--
+		case up:
+			i--
+		default:
+			j--
+		}
+	}
+	return Result{Score: int(bestScore), Matches: matches, AlignedLen: length}
+}

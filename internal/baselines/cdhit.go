@@ -1,0 +1,136 @@
+package baselines
+
+import (
+	"sort"
+
+	"github.com/metagenomics/mrmcminh/internal/align"
+	"github.com/metagenomics/mrmcminh/internal/fasta"
+	"github.com/metagenomics/mrmcminh/internal/kmer"
+	"github.com/metagenomics/mrmcminh/internal/metrics"
+)
+
+// CDHit reimplements CD-HIT's core (Li & Godzik 2006): sort sequences by
+// length descending; the first sequence seeds a cluster; each subsequent
+// sequence is compared against existing cluster representatives using a
+// short-word count filter — if the shared-word count cannot reach the
+// identity threshold the expensive alignment is skipped — and joins the
+// first representative whose banded global alignment identity reaches the
+// threshold, else seeds a new cluster.
+type CDHit struct{}
+
+// Name implements Method.
+func (CDHit) Name() string { return "CD-HIT" }
+
+// Cluster implements Method.
+func (CDHit) Cluster(reads []fasta.Record, opt Options) (metrics.Clustering, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	w := opt.WordSize
+	if w == 0 {
+		w = 5 // CD-HIT's default word size for DNA at high identity
+	}
+	n := len(reads)
+	assign := freshClustering(n)
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(reads[order[a]].Seq) > len(reads[order[b]].Seq)
+	})
+
+	e := kmer.MustExtractor(w)
+	counters := make([]*kmer.Counter, n)
+	counter := func(i int) *kmer.Counter {
+		if counters[i] == nil {
+			c := kmer.NewCounter(w)
+			c.Observe(reads[i].Seq, e)
+			counters[i] = c
+		}
+		return counters[i]
+	}
+
+	var reps []int
+	next := 0
+	for _, i := range order {
+		placed := false
+		for _, rep := range reps {
+			if !wordFilterPass(counter(i), counter(rep), len(reads[i].Seq), len(reads[rep].Seq), w, opt.Threshold) {
+				continue
+			}
+			res := align.GlobalBanded(reads[i].Seq, reads[rep].Seq, align.DefaultScoring, bandFor(opt.Threshold, len(reads[i].Seq)))
+			if res.Identity() >= opt.Threshold {
+				assign[i] = assign[rep]
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			assign[i] = next
+			next++
+			reps = append(reps, i)
+		}
+	}
+	return assign, nil
+}
+
+// wordFilterPass is CD-HIT's short-word filter: two sequences at identity
+// >= t over the shorter length L share at least L - k*(1-t)*L*k words
+// approximately; we use the standard bound shared >= L-w+1 - (1-t)*L*w.
+func wordFilterPass(a, b *kmer.Counter, lenA, lenB, w int, t float64) bool {
+	shorter := lenA
+	if lenB < shorter {
+		shorter = lenB
+	}
+	words := shorter - w + 1
+	if words <= 0 {
+		return true // too short to filter; let the alignment decide
+	}
+	required := float64(words) - (1-t)*float64(shorter)*float64(w)
+	if required <= 0 {
+		return true
+	}
+	shared := sharedWordCount(a, b)
+	return float64(shared) >= required
+}
+
+// sharedWordCount sums min occurrence counts over common words.
+func sharedWordCount(a, b *kmer.Counter) int {
+	// WordDistance already computes the shared count internally; recompute
+	// here to avoid exposing internals: d = 1 - shared/(minLen - k + 1).
+	// Instead we exploit Counter's public surface.
+	shared := 0
+	small, large := a, b
+	if small.Distinct() > large.Distinct() {
+		small, large = large, small
+	}
+	for _, w := range smallWords(small) {
+		ca, cb := small.Count(w), large.Count(w)
+		if cb < ca {
+			shared += cb
+		} else {
+			shared += ca
+		}
+	}
+	return shared
+}
+
+// smallWords lists the distinct words of a counter.
+func smallWords(c *kmer.Counter) []uint64 {
+	out := make([]uint64, 0, c.Distinct())
+	c.Each(func(w uint64, _ int) { out = append(out, w) })
+	return out
+}
+
+// bandFor sizes the alignment band from the identity threshold: at
+// identity t a pair has at most (1-t)*L indels, so a band slightly wider
+// is safe and much faster.
+func bandFor(t float64, length int) int {
+	band := int((1-t)*float64(length)) + 8
+	if band < 8 {
+		band = 8
+	}
+	return band
+}

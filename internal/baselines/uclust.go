@@ -1,0 +1,108 @@
+package baselines
+
+import (
+	"github.com/metagenomics/mrmcminh/internal/align"
+	"github.com/metagenomics/mrmcminh/internal/fasta"
+	"github.com/metagenomics/mrmcminh/internal/kmer"
+	"github.com/metagenomics/mrmcminh/internal/metrics"
+)
+
+// UClust reimplements USEARCH/UCLUST's core (Edgar 2010): process
+// sequences in input order; for each sequence rank the existing cluster
+// representatives by shared-k-mer count ("U-sort"), align against the top
+// candidates only, and join the first representative reaching the identity
+// threshold ("first acceptable hit", not best hit); otherwise become a new
+// representative.
+type UClust struct{}
+
+// Name implements Method.
+func (UClust) Name() string { return "UCLUST" }
+
+// maxAccepts/maxRejects follow USEARCH defaults (1 accept, 8 rejects).
+const (
+	uclustMaxRejects = 8
+)
+
+// Cluster implements Method.
+func (UClust) Cluster(reads []fasta.Record, opt Options) (metrics.Clustering, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	w := opt.WordSize
+	if w == 0 {
+		w = 8 // USEARCH default word length for nucleotides
+	}
+	n := len(reads)
+	assign := freshClustering(n)
+	sets := kmerSets(reads, w)
+
+	var reps []int
+	next := 0
+	for i := 0; i < n; i++ {
+		// Rank reps by shared-word count (descending).
+		var cands []cand
+		for _, rep := range reps {
+			s := sharedSetCount(sets[i], sets[rep])
+			if s > 0 {
+				cands = append(cands, cand{rep: rep, shared: s})
+			}
+		}
+		sortCands(cands)
+		placed := false
+		rejects := 0
+		for _, c := range cands {
+			res := align.GlobalBanded(reads[i].Seq, reads[c.rep].Seq, align.DefaultScoring, bandFor(opt.Threshold, len(reads[i].Seq)))
+			if res.Identity() >= opt.Threshold {
+				assign[i] = assign[c.rep]
+				placed = true
+				break
+			}
+			rejects++
+			if rejects >= uclustMaxRejects {
+				break
+			}
+		}
+		if !placed {
+			assign[i] = next
+			next++
+			reps = append(reps, i)
+		}
+	}
+	return assign, nil
+}
+
+// sharedSetCount counts common distinct words.
+func sharedSetCount(a, b kmer.Set) int {
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	n := 0
+	for w := range small {
+		if large.Contains(w) {
+			n++
+		}
+	}
+	return n
+}
+
+// cand is a ranked representative candidate.
+type cand struct {
+	rep    int
+	shared int
+}
+
+// sortCands orders candidates by shared count descending, rep ascending
+// for determinism (insertion sort; candidate lists are short).
+func sortCands(cands []cand) {
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cands[j-1], cands[j]
+			if b.shared > a.shared || (b.shared == a.shared && b.rep < a.rep) {
+				cands[j-1], cands[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}

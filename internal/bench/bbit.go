@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"github.com/metagenomics/mrmcminh/internal/kmer"
+	"github.com/metagenomics/mrmcminh/internal/minhash"
+)
+
+// Ablation E9 — b-bit minwise hashing: sketch storage versus estimator
+// accuracy. The paper's terabyte-scale motivation (§II) is exactly what
+// b-bit compression addresses: a 100-hash sketch shrinks from 800 bytes
+// to 100 bits at b=1. This ablation quantifies the accuracy cost.
+type BBitPoint struct {
+	Bits       int // 0 = full 64-bit signature
+	BytesPer   int // storage per 128-hash sketch
+	MAE        float64
+	Bias       float64
+	Compressio float64 // compression ratio vs full signature
+}
+
+// AblationBBit measures estimator error per b over random set pairs.
+func AblationBBit(pairs int, seed int64) ([]BBitPoint, error) {
+	const (
+		k = 10
+		n = 128
+	)
+	rng := rand.New(rand.NewSource(seed))
+	sk, err := minhash.NewSketcher(n, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	type pair struct {
+		a, b  minhash.Signature
+		exact float64
+	}
+	ps := make([]pair, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		shared := rng.Intn(400)
+		only := 20 + rng.Intn(400)
+		sa, sb := kmer.Set{}, kmer.Set{}
+		for j := 0; j < shared; j++ {
+			v := rng.Uint64() % kmer.FeatureSpace(k)
+			sa.Add(v)
+			sb.Add(v)
+		}
+		for j := 0; j < only; j++ {
+			sa.Add(rng.Uint64() % kmer.FeatureSpace(k))
+			sb.Add(rng.Uint64() % kmer.FeatureSpace(k))
+		}
+		ps = append(ps, pair{a: sk.Sketch(sa), b: sk.Sketch(sb), exact: kmer.Jaccard(sa, sb)})
+	}
+	fullBytes := 8 * n
+	var out []BBitPoint
+	// Full signature baseline.
+	{
+		var mae, bias float64
+		for _, p := range ps {
+			got := minhash.MatchedPositions.Similarity(p.a, p.b)
+			mae += math.Abs(got - p.exact)
+			bias += got - p.exact
+		}
+		out = append(out, BBitPoint{
+			Bits: 0, BytesPer: fullBytes,
+			MAE: mae / float64(len(ps)), Bias: bias / float64(len(ps)),
+			Compressio: 1,
+		})
+	}
+	for _, b := range []int{1, 2, 4, 8} {
+		var mae, bias float64
+		var bytesPer int
+		for _, p := range ps {
+			ca, err := minhash.Compact(p.a, b)
+			if err != nil {
+				return nil, err
+			}
+			cb, err := minhash.Compact(p.b, b)
+			if err != nil {
+				return nil, err
+			}
+			bytesPer = ca.Bytes()
+			got, err := ca.Similarity(cb)
+			if err != nil {
+				return nil, err
+			}
+			mae += math.Abs(got - p.exact)
+			bias += got - p.exact
+		}
+		out = append(out, BBitPoint{
+			Bits: b, BytesPer: bytesPer,
+			MAE: mae / float64(len(ps)), Bias: bias / float64(len(ps)),
+			Compressio: float64(fullBytes) / float64(bytesPer),
+		})
+	}
+	return out, nil
+}
+
+// FormatBBit renders the ablation.
+func FormatBBit(points []BBitPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: b-bit minwise hashing (E9, 128 hashes)\n")
+	fmt.Fprintf(&sb, "%6s %10s %12s %8s %8s\n", "bits", "bytes", "compression", "MAE", "bias")
+	for _, p := range points {
+		bits := "full"
+		if p.Bits > 0 {
+			bits = fmt.Sprint(p.Bits)
+		}
+		fmt.Fprintf(&sb, "%6s %10d %11.0fx %8.4f %+8.4f\n", bits, p.BytesPer, p.Compressio, p.MAE, p.Bias)
+	}
+	return sb.String()
+}

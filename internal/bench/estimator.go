@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"github.com/metagenomics/mrmcminh/internal/kmer"
+	"github.com/metagenomics/mrmcminh/internal/minhash"
+)
+
+// Experiment E6 — estimator accuracy ablation: how close the two signature
+// similarity estimates (matched-positions vs the paper's set-overlap) come
+// to the exact Jaccard similarity as the hash count grows. This validates
+// Eq. 3 empirically and quantifies the bias of the set-overlap form used
+// in Algorithm 1 line 9.
+type EstimatorPoint struct {
+	NumHashes int
+	Estimator minhash.Estimator
+	// MAE is the mean absolute error against exact Jaccard.
+	MAE float64
+	// Bias is the mean signed error.
+	Bias float64
+}
+
+// EstimatorAblation samples random set pairs across the Jaccard range and
+// measures estimator error per hash count.
+func EstimatorAblation(pairs int, seed int64) ([]EstimatorPoint, error) {
+	const k = 10
+	rng := rand.New(rand.NewSource(seed))
+	type pair struct {
+		a, b  kmer.Set
+		exact float64
+	}
+	ps := make([]pair, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		shared := rng.Intn(400)
+		only := 20 + rng.Intn(400)
+		a, b := kmer.Set{}, kmer.Set{}
+		for j := 0; j < shared; j++ {
+			v := rng.Uint64() % kmer.FeatureSpace(k)
+			a.Add(v)
+			b.Add(v)
+		}
+		for j := 0; j < only; j++ {
+			a.Add(rng.Uint64() % kmer.FeatureSpace(k))
+			b.Add(rng.Uint64() % kmer.FeatureSpace(k))
+		}
+		ps = append(ps, pair{a: a, b: b, exact: kmer.Jaccard(a, b)})
+	}
+	var out []EstimatorPoint
+	for _, n := range []int{25, 50, 100, 200} {
+		sk, err := minhash.NewSketcher(n, k, seed+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		for _, est := range []minhash.Estimator{minhash.MatchedPositions, minhash.SetOverlap} {
+			var mae, bias float64
+			for _, p := range ps {
+				got := est.Similarity(sk.Sketch(p.a), sk.Sketch(p.b))
+				mae += math.Abs(got - p.exact)
+				bias += got - p.exact
+			}
+			out = append(out, EstimatorPoint{
+				NumHashes: n,
+				Estimator: est,
+				MAE:       mae / float64(len(ps)),
+				Bias:      bias / float64(len(ps)),
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatEstimator renders the estimator ablation.
+func FormatEstimator(points []EstimatorPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: Jaccard estimator accuracy (E6)\n")
+	fmt.Fprintf(&sb, "%7s %-18s %8s %8s\n", "hashes", "estimator", "MAE", "bias")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%7d %-18s %8.4f %+8.4f\n", p.NumHashes, p.Estimator, p.MAE, p.Bias)
+	}
+	return sb.String()
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/metagenomics/mrmcminh/internal/core"
+	"github.com/metagenomics/mrmcminh/internal/mapreduce"
+)
+
+// Ablation E7 — speculative execution: Hadoop's answer to straggling
+// tasks. The paper's Figure 2 deployment inherits it silently; this
+// ablation quantifies how much of the straggler tail the backup-task
+// mechanism recovers in the runtime model, per node count.
+type SpeculativePoint struct {
+	Nodes int
+	Reads int
+	// Clean is the modelled runtime without stragglers.
+	Clean time.Duration
+	// Straggled is with stragglers, speculation off.
+	Straggled time.Duration
+	// Speculative is with stragglers, speculation on.
+	Speculative time.Duration
+}
+
+// AblationSpeculative sweeps node counts at one large input size.
+func AblationSpeculative(reads int, nodesList []int, numHashes int) []SpeculativePoint {
+	var out []SpeculativePoint
+	for _, nodes := range nodesList {
+		clean := mapreduce.Cluster{Nodes: nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel}
+		slowCost := mapreduce.DefaultCostModel
+		slowCost.StragglerFraction = 0.05
+		slowCost.StragglerSlowdown = 5
+		straggled := mapreduce.Cluster{Nodes: nodes, SlotsPerNode: 2, Cost: slowCost}
+		speculative := straggled
+		speculative.Speculative = true
+		out = append(out, SpeculativePoint{
+			Nodes:       nodes,
+			Reads:       reads,
+			Clean:       core.ModelRuntime(reads, clean, core.HierarchicalMode, numHashes),
+			Straggled:   core.ModelRuntime(reads, straggled, core.HierarchicalMode, numHashes),
+			Speculative: core.ModelRuntime(reads, speculative, core.HierarchicalMode, numHashes),
+		})
+	}
+	return out
+}
+
+// FormatSpeculative renders the ablation.
+func FormatSpeculative(points []SpeculativePoint) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: speculative execution under stragglers (E7)\n")
+	fmt.Fprintf(&sb, "%6s %10s %10s %12s %12s %10s\n", "nodes", "reads", "clean", "straggled", "speculative", "recovered")
+	for _, p := range points {
+		rec := "-"
+		if p.Straggled > p.Clean {
+			frac := float64(p.Straggled-p.Speculative) / float64(p.Straggled-p.Clean)
+			rec = fmt.Sprintf("%.0f%%", 100*frac)
+		}
+		fmt.Fprintf(&sb, "%6d %10d %10.1fm %11.1fm %11.1fm %10s\n",
+			p.Nodes, p.Reads, p.Clean.Minutes(), p.Straggled.Minutes(), p.Speculative.Minutes(), rec)
+	}
+	return sb.String()
+}

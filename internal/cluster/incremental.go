@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/metagenomics/mrmcminh/internal/minhash"
+)
+
+// Incremental is an online version of Algorithm 1: reads arrive one at a
+// time (a sequencer streaming out of a run, or an HDFS ingest pipe) and
+// are labelled immediately against the representatives seen so far. The
+// greedy algorithm is inherently order-sensitive, so the incremental and
+// batch variants agree given the same arrival order.
+type Incremental struct {
+	opt GreedyOptions
+	// lsh, when non-nil, indexes representatives for sub-linear lookup.
+	lsh     *minhash.BandIndex
+	reps    []minhash.Signature
+	repOf   []int // lsh id -> cluster label (when lsh is used)
+	nLabels int
+	nReads  int
+}
+
+// NewIncremental starts an empty online clusterer. Pass a nil lshGeometry
+// for exact representative scans, or a geometry (see GeometryFor) for the
+// banded fast path.
+func NewIncremental(opt GreedyOptions, lshGeometry *LSHOptions) (*Incremental, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	inc := &Incremental{opt: opt}
+	if lshGeometry != nil {
+		idx, err := minhash.NewBandIndex(lshGeometry.Bands, lshGeometry.Rows)
+		if err != nil {
+			return nil, err
+		}
+		inc.lsh = idx
+	}
+	return inc, nil
+}
+
+// Add labels one signature and returns its cluster id. New clusters are
+// created on demand; labels are stable for the lifetime of the clusterer.
+func (inc *Incremental) Add(sig minhash.Signature) (int, error) {
+	if inc.lsh != nil && len(sig) < inc.lsh.SignatureLen() {
+		return 0, fmt.Errorf("cluster: signature length %d below LSH geometry %d", len(sig), inc.lsh.SignatureLen())
+	}
+	inc.nReads++
+	if !sig.Empty() {
+		if inc.lsh != nil {
+			for _, cand := range inc.lsh.Candidates(sig) {
+				if inc.opt.Estimator.Similarity(sig, inc.lsh.Signature(cand)) >= inc.opt.Threshold {
+					return inc.repOf[cand], nil
+				}
+			}
+		} else {
+			for label, rep := range inc.reps {
+				if inc.opt.Estimator.Similarity(sig, rep) >= inc.opt.Threshold {
+					return label, nil
+				}
+			}
+		}
+	}
+	label := inc.nLabels
+	inc.nLabels++
+	if inc.lsh != nil {
+		id, err := inc.lsh.Add(sig)
+		if err != nil {
+			return 0, err
+		}
+		if id != len(inc.repOf) {
+			return 0, fmt.Errorf("cluster: LSH index id drift")
+		}
+		inc.repOf = append(inc.repOf, label)
+	} else {
+		inc.reps = append(inc.reps, sig)
+	}
+	return label, nil
+}
+
+// NumClusters returns the number of clusters created so far.
+func (inc *Incremental) NumClusters() int { return inc.nLabels }
+
+// NumReads returns the number of signatures processed.
+func (inc *Incremental) NumReads() int { return inc.nReads }

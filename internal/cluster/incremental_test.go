@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/metagenomics/mrmcminh/internal/minhash"
+)
+
+func TestIncrementalMatchesBatchGreedyExactly(t *testing.T) {
+	sigs, _ := sketchGroups(t, 4, 12, 51)
+	opt := GreedyOptions{Threshold: 0.5, Estimator: minhash.MatchedPositions}
+	batch, err := Greedy(sigs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncremental(opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sig := range sigs {
+		label, err := inc.Add(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label != batch[i] {
+			t.Fatalf("read %d: incremental label %d != batch %d", i, label, batch[i])
+		}
+	}
+	if inc.NumClusters() != batch.NumClusters() || inc.NumReads() != len(sigs) {
+		t.Fatalf("counters %d/%d", inc.NumClusters(), inc.NumReads())
+	}
+}
+
+func TestIncrementalLSHMatchesGreedyLSH(t *testing.T) {
+	sigs, _ := sketchGroups(t, 3, 10, 52)
+	opt := GreedyOptions{Threshold: 0.5, Estimator: minhash.MatchedPositions}
+	geo := GeometryFor(len(sigs[0]), 0.5)
+	batch, err := GreedyLSH(sigs, opt, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncremental(opt, &geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sig := range sigs {
+		label, err := inc.Add(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label != batch[i] {
+			t.Fatalf("read %d: incremental-LSH label %d != batch %d", i, label, batch[i])
+		}
+	}
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	if _, err := NewIncremental(GreedyOptions{Threshold: 2}, nil); err == nil {
+		t.Fatal("bad threshold accepted")
+	}
+	if _, err := NewIncremental(GreedyOptions{Threshold: 0.5}, &LSHOptions{Bands: 0, Rows: 1}); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+	geo := LSHOptions{Bands: 4, Rows: 4}
+	inc, err := NewIncremental(GreedyOptions{Threshold: 0.5}, &geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Add(make(minhash.Signature, 8)); err == nil {
+		t.Fatal("short signature accepted")
+	}
+}
+
+func TestIncrementalEmptySignaturesAreSingletons(t *testing.T) {
+	inc, err := NewIncremental(GreedyOptions{Threshold: 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := minhash.MustSketcher(10, 5, 1)
+	empty := sk.Sketch(nil)
+	l1, _ := inc.Add(empty)
+	l2, _ := inc.Add(empty.Clone())
+	if l1 == l2 {
+		t.Fatal("empty signatures merged")
+	}
+}

@@ -1,0 +1,190 @@
+// Package consensus derives a representative consensus sequence per
+// cluster: members are pairwise-aligned to the cluster medoid (a star
+// alignment) and each consensus column takes the majority base. OTU
+// pipelines feed such consensus sequences to downstream taxonomy search
+// instead of raw error-laden reads — the post-clustering step the paper's
+// introduction gestures at ("analysis of cluster representatives").
+package consensus
+
+import (
+	"fmt"
+
+	"github.com/metagenomics/mrmcminh/internal/align"
+	"github.com/metagenomics/mrmcminh/internal/fasta"
+	"github.com/metagenomics/mrmcminh/internal/metrics"
+)
+
+// Options tunes consensus building.
+type Options struct {
+	// MinColumnSupport is the minimum fraction of members that must cover
+	// a consensus column for it to be emitted (columns seen by fewer
+	// members — overhangs — are trimmed). Default 0.5.
+	MinColumnSupport float64
+	// MaxMembers caps how many members vote (0 = all); large clusters use
+	// the first MaxMembers in index order for determinism.
+	MaxMembers int
+}
+
+// withDefaults fills zero values.
+func (o Options) withDefaults() Options {
+	if o.MinColumnSupport == 0 {
+		o.MinColumnSupport = 0.5
+	}
+	return o
+}
+
+// Build returns clusterID -> consensus sequence for every cluster, using
+// reps (clusterID -> medoid read index) as star centers.
+func Build(reads []fasta.Record, labels metrics.Clustering, reps map[int]int, opt Options) (map[int][]byte, error) {
+	opt = opt.withDefaults()
+	if len(reads) != len(labels) {
+		return nil, fmt.Errorf("consensus: %d reads for %d labels", len(reads), len(labels))
+	}
+	if opt.MinColumnSupport < 0 || opt.MinColumnSupport > 1 {
+		return nil, fmt.Errorf("consensus: MinColumnSupport %v out of [0,1]", opt.MinColumnSupport)
+	}
+	members := labels.Members()
+	out := make(map[int][]byte, len(members))
+	for id, idx := range members {
+		rep, ok := reps[id]
+		if !ok {
+			return nil, fmt.Errorf("consensus: no representative for cluster %d", id)
+		}
+		if rep < 0 || rep >= len(reads) {
+			return nil, fmt.Errorf("consensus: representative %d out of range", rep)
+		}
+		voters := idx
+		if opt.MaxMembers > 0 && len(voters) > opt.MaxMembers {
+			voters = voters[:opt.MaxMembers]
+		}
+		out[id] = starConsensus(reads, rep, voters, opt.MinColumnSupport)
+	}
+	return out, nil
+}
+
+// starConsensus votes member bases onto the representative's coordinates.
+// Insertions relative to the representative are dropped (star alignments
+// cannot place them consistently without an MSA); deletions leave the
+// column's vote to other members and the representative.
+func starConsensus(reads []fasta.Record, rep int, members []int, minSupport float64) []byte {
+	ref := reads[rep].Seq
+	n := len(ref)
+	// counts[i][code] votes for base code at reference column i;
+	// coverage[i] counts members whose alignment spans column i.
+	counts := make([][4]int, n)
+	coverage := make([]int, n)
+	for _, m := range members {
+		path := alignPath(ref, reads[m].Seq)
+		for _, step := range path {
+			if step.refPos < 0 {
+				continue // insertion relative to the representative
+			}
+			if step.base >= 0 {
+				// A deletion (base < 0) is *absence* of coverage: a member
+				// that skips a column gets no say in it, and overhang
+				// columns beyond short members stay unsupported.
+				coverage[step.refPos]++
+				counts[step.refPos][step.base]++
+			}
+		}
+	}
+	minVotes := int(minSupport * float64(len(members)))
+	if minVotes < 1 {
+		minVotes = 1
+	}
+	var consensus []byte
+	for i := 0; i < n; i++ {
+		if coverage[i] < minVotes {
+			continue
+		}
+		best, bestN := -1, 0
+		for c := 0; c < 4; c++ {
+			if counts[i][c] > bestN {
+				best, bestN = c, counts[i][c]
+			}
+		}
+		// Ties break toward the representative's own base — the medoid is
+		// the cluster's least-error member by construction.
+		if rc := fasta.BaseCode(ref[i]); rc >= 0 && counts[i][rc] == bestN {
+			best = int(rc)
+		}
+		if best < 0 {
+			continue
+		}
+		consensus = append(consensus, fasta.CodeBase(int8(best)))
+	}
+	return consensus
+}
+
+// pathStep maps one alignment column: refPos is the reference coordinate
+// (-1 for an insertion in the member), base is the member's base code
+// (-1 for a deletion or ambiguous base).
+type pathStep struct {
+	refPos int
+	base   int8
+}
+
+// alignPath reruns the banded global alignment with a traceback that
+// yields reference-coordinate steps.
+func alignPath(ref, member []byte) []pathStep {
+	n, m := len(ref), len(member)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	// Full DP with direction matrix (reads are short; clarity over the
+	// rolling-band variant used in metric scoring).
+	const (
+		diag = byte(0)
+		up   = byte(1) // consume ref (deletion in member)
+		left = byte(2) // consume member (insertion in member)
+	)
+	sc := align.DefaultScoring
+	trace := make([]byte, (n+1)*(m+1))
+	prev := make([]int32, m+1)
+	cur := make([]int32, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = int32(sc.Gap) * int32(j)
+		trace[j] = left
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = int32(sc.Gap) * int32(i)
+		trace[i*(m+1)] = up
+		for j := 1; j <= m; j++ {
+			sub := int32(sc.Mismatch)
+			if ref[i-1] == member[j-1] {
+				sub = int32(sc.Match)
+			}
+			best, dir := prev[j-1]+sub, diag
+			if u := prev[j] + int32(sc.Gap); u > best {
+				best, dir = u, up
+			}
+			if l := cur[j-1] + int32(sc.Gap); l > best {
+				best, dir = l, left
+			}
+			cur[j] = best
+			trace[i*(m+1)+j] = dir
+		}
+		prev, cur = cur, prev
+	}
+	var rev []pathStep
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch trace[i*(m+1)+j] {
+		case diag:
+			rev = append(rev, pathStep{refPos: i - 1, base: fasta.BaseCode(member[j-1])})
+			i--
+			j--
+		case up:
+			rev = append(rev, pathStep{refPos: i - 1, base: -1})
+			i--
+		default:
+			rev = append(rev, pathStep{refPos: -1, base: fasta.BaseCode(member[j-1])})
+			j--
+		}
+	}
+	// Reverse in place.
+	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+		rev[a], rev[b] = rev[b], rev[a]
+	}
+	return rev
+}

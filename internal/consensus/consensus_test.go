@@ -1,0 +1,175 @@
+package consensus
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/metagenomics/mrmcminh/internal/fasta"
+	"github.com/metagenomics/mrmcminh/internal/metrics"
+)
+
+// mutate returns seq with substitutions at the given positions.
+func mutate(seq []byte, positions ...int) []byte {
+	out := append([]byte{}, seq...)
+	for _, p := range positions {
+		switch out[p] {
+		case 'A':
+			out[p] = 'C'
+		default:
+			out[p] = 'A'
+		}
+	}
+	return out
+}
+
+func TestConsensusOutvotesErrors(t *testing.T) {
+	truth := []byte("ACGTACGGTTCAGGCATTACGGATCAGG")
+	reads := []fasta.Record{
+		{ID: "r0", Seq: append([]byte{}, truth...)},
+		{ID: "r1", Seq: mutate(truth, 3)},
+		{ID: "r2", Seq: mutate(truth, 10)},
+		{ID: "r3", Seq: mutate(truth, 20)},
+		{ID: "r4", Seq: mutate(truth, 25)},
+	}
+	labels := metrics.Clustering{0, 0, 0, 0, 0}
+	reps := map[int]int{0: 0}
+	cons, err := Build(reads, labels, reps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cons[0], truth) {
+		t.Fatalf("consensus %s != truth %s", cons[0], truth)
+	}
+}
+
+func TestConsensusErrorInRepresentativeCorrected(t *testing.T) {
+	truth := []byte("ACGTACGGTTCAGGCATTAC")
+	// The representative itself carries an error at position 5; the four
+	// clean members outvote it.
+	reads := []fasta.Record{
+		{ID: "rep", Seq: mutate(truth, 5)},
+		{ID: "r1", Seq: append([]byte{}, truth...)},
+		{ID: "r2", Seq: append([]byte{}, truth...)},
+		{ID: "r3", Seq: append([]byte{}, truth...)},
+	}
+	labels := metrics.Clustering{0, 0, 0, 0}
+	cons, err := Build(reads, labels, map[int]int{0: 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cons[0], truth) {
+		t.Fatalf("consensus %s != truth %s", cons[0], truth)
+	}
+}
+
+func TestConsensusHandlesIndels(t *testing.T) {
+	truth := []byte("ACGGTTCAGGCATTACGGAT")
+	withDel := append(append([]byte{}, truth[:8]...), truth[9:]...) // one deletion
+	withIns := append(append(append([]byte{}, truth[:12]...), 'G'), truth[12:]...)
+	reads := []fasta.Record{
+		{ID: "rep", Seq: append([]byte{}, truth...)},
+		{ID: "del", Seq: withDel},
+		{ID: "ins", Seq: withIns},
+	}
+	labels := metrics.Clustering{0, 0, 0}
+	cons, err := Build(reads, labels, map[int]int{0: 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cons[0], truth) {
+		t.Fatalf("consensus %s != truth %s", cons[0], truth)
+	}
+}
+
+func TestConsensusOverhangTrimming(t *testing.T) {
+	core := []byte("ACGGTTCAGGCATTAC")
+	long := append(append([]byte{}, core...), []byte("GGGGGGGG")...)
+	// Representative is long; most members only cover the core, so the
+	// overhang columns fall below the support floor.
+	reads := []fasta.Record{
+		{ID: "rep", Seq: long},
+		{ID: "r1", Seq: append([]byte{}, core...)},
+		{ID: "r2", Seq: append([]byte{}, core...)},
+		{ID: "r3", Seq: append([]byte{}, core...)},
+	}
+	labels := metrics.Clustering{0, 0, 0, 0}
+	cons, err := Build(reads, labels, map[int]int{0: 0}, Options{MinColumnSupport: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cons[0], core) {
+		t.Fatalf("consensus %q, want trimmed core %q", cons[0], core)
+	}
+}
+
+func TestConsensusMultipleClusters(t *testing.T) {
+	a := []byte("AAAACCCCGGGGTTTTAAAA")
+	b := []byte("TTTTGGGGCCCCAAAATTTT")
+	reads := []fasta.Record{
+		{ID: "a0", Seq: append([]byte{}, a...)},
+		{ID: "a1", Seq: mutate(a, 2)},
+		{ID: "b0", Seq: append([]byte{}, b...)},
+		{ID: "b1", Seq: mutate(b, 7)},
+	}
+	labels := metrics.Clustering{0, 0, 1, 1}
+	cons, err := Build(reads, labels, map[int]int{0: 0, 1: 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cons) != 2 {
+		t.Fatalf("%d consensi", len(cons))
+	}
+	if !bytes.Equal(cons[0], a) || !bytes.Equal(cons[1], b) {
+		t.Fatalf("consensi %q / %q", cons[0], cons[1])
+	}
+}
+
+func TestConsensusValidation(t *testing.T) {
+	reads := []fasta.Record{{ID: "a", Seq: []byte("ACGT")}}
+	if _, err := Build(reads, metrics.Clustering{0, 0}, nil, Options{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Build(reads, metrics.Clustering{0}, map[int]int{}, Options{}); err == nil {
+		t.Error("missing representative accepted")
+	}
+	if _, err := Build(reads, metrics.Clustering{0}, map[int]int{0: 9}, Options{}); err == nil {
+		t.Error("out-of-range representative accepted")
+	}
+	if _, err := Build(reads, metrics.Clustering{0}, map[int]int{0: 0}, Options{MinColumnSupport: 2}); err == nil {
+		t.Error("bad support accepted")
+	}
+}
+
+func TestConsensusMaxMembersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := make([]byte, 60)
+	for i := range truth {
+		truth[i] = "ACGT"[rng.Intn(4)]
+	}
+	var reads []fasta.Record
+	labels := metrics.Clustering{}
+	for i := 0; i < 30; i++ {
+		seq := append([]byte{}, truth...)
+		if rng.Float64() < 0.5 {
+			seq = mutate(seq, rng.Intn(len(seq)))
+		}
+		reads = append(reads, fasta.Record{ID: "r", Seq: seq})
+		labels = append(labels, 0)
+	}
+	opt := Options{MaxMembers: 10}
+	c1, err := Build(reads, labels, map[int]int{0: 0}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Build(reads, labels, map[int]int{0: 0}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1[0], c2[0]) {
+		t.Fatal("capped consensus not deterministic")
+	}
+	if !bytes.Equal(c1[0], truth) {
+		t.Fatalf("capped consensus %q != truth", c1[0])
+	}
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/metagenomics/mrmcminh/internal/cluster"
+	"github.com/metagenomics/mrmcminh/internal/fasta"
+	"github.com/metagenomics/mrmcminh/internal/kmer"
+	"github.com/metagenomics/mrmcminh/internal/mapreduce"
+	"github.com/metagenomics/mrmcminh/internal/metrics"
+	"github.com/metagenomics/mrmcminh/internal/minhash"
+)
+
+// Mode selects the clustering algorithm.
+type Mode int
+
+const (
+	// GreedyMode is Algorithm 1 (MrMC-MinH^g).
+	GreedyMode Mode = iota
+	// HierarchicalMode is Algorithm 2 (MrMC-MinH^h).
+	HierarchicalMode
+)
+
+// String names the mode as in the paper.
+func (m Mode) String() string {
+	switch m {
+	case GreedyMode:
+		return "MrMC-MinH^g"
+	case HierarchicalMode:
+		return "MrMC-MinH^h"
+	default:
+		return "unknown"
+	}
+}
+
+// Options parameterizes an MrMC-MinH run. Zero values select the paper's
+// whole-metagenome defaults (k=5, n=100, θ=0.9, average linkage).
+type Options struct {
+	// K is the k-mer size (paper: 5 for whole metagenome, 15 for 16S).
+	K int
+	// NumHashes is the signature length n (paper: 100 / 50).
+	NumHashes int
+	// Theta is the similarity threshold θ.
+	Theta float64
+	// Mode selects greedy or hierarchical clustering.
+	Mode Mode
+	// Linkage applies in HierarchicalMode.
+	Linkage cluster.Linkage
+	// Estimator selects the signature similarity estimate; the default is
+	// the paper's set-overlap form.
+	Estimator minhash.Estimator
+	// Canonical folds reverse complements into one k-mer (recommended for
+	// shotgun reads, off for 16S amplicons).
+	Canonical bool
+	// UseLSH accelerates GreedyMode with a banded LSH index over cluster
+	// representatives (the MC-LSH fast path): new reads check only
+	// bucket-colliding representatives instead of all of them. Slight
+	// recall loss is possible for borderline pairs. Ignored in
+	// HierarchicalMode.
+	UseLSH bool
+	// Seed drives hash-function draws.
+	Seed int64
+	// Cluster is the simulated deployment; zero uses the paper's 8 nodes.
+	Cluster mapreduce.Cluster
+}
+
+// withDefaults fills zero values.
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 5
+	}
+	if o.NumHashes == 0 {
+		o.NumHashes = 100
+	}
+	if o.Theta == 0 {
+		o.Theta = 0.9
+	}
+	if o.Estimator == 0 {
+		o.Estimator = minhash.SetOverlap
+	}
+	if o.Cluster.Nodes == 0 {
+		o.Cluster = mapreduce.DefaultCluster
+	}
+	return o
+}
+
+// Validate rejects unusable options.
+func (o Options) Validate() error {
+	o = o.withDefaults()
+	if o.K < 1 || o.K > kmer.MaxK {
+		return fmt.Errorf("core: k=%d out of range [1,%d]", o.K, kmer.MaxK)
+	}
+	if o.NumHashes < 1 {
+		return fmt.Errorf("core: need at least one hash function, got %d", o.NumHashes)
+	}
+	if o.Theta < 0 || o.Theta > 1 {
+		return fmt.Errorf("core: θ=%v out of range [0,1]", o.Theta)
+	}
+	if o.Mode != GreedyMode && o.Mode != HierarchicalMode {
+		return fmt.Errorf("core: invalid mode %d", o.Mode)
+	}
+	return o.Cluster.Validate()
+}
+
+// Result is a completed clustering run.
+type Result struct {
+	// Assignments maps read index -> cluster label.
+	Assignments metrics.Clustering
+	// ReadIDs are the FASTA ids, index-aligned with Assignments.
+	ReadIDs []string
+	// Virtual is the modelled cluster wall time (the paper's "Time").
+	Virtual time.Duration
+	// Real is the measured local execution time.
+	Real time.Duration
+	// Jobs counts launched MapReduce jobs.
+	Jobs int
+}
+
+// NumClusters returns the number of clusters in the result.
+func (r *Result) NumClusters() int { return r.Assignments.NumClusters() }
+
+// Run executes the MrMC-MinH pipeline on reads: sketching as a map-only
+// job, then either greedy clustering in a single reducer or the
+// row-partitioned similarity matrix plus driver-side dendrogram.
+func Run(reads []fasta.Record, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	engine, err := mapreduce.NewEngine(opt.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ReadIDs: make([]string, len(reads))}
+	for i := range reads {
+		res.ReadIDs[i] = reads[i].ID
+	}
+
+	sigs, virt, err := sketchJob(engine, reads, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Virtual += virt
+	res.Jobs++
+
+	switch opt.Mode {
+	case GreedyMode:
+		labels, virt, err := greedyJob(engine, sigs, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Assignments = labels
+		res.Virtual += virt
+		res.Jobs++
+	case HierarchicalMode:
+		m, virt, err := similarityJob(engine, sigs, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Virtual += virt
+		res.Jobs++
+		dend, err := cluster.Hierarchical(m, cluster.HierarchicalOptions{Linkage: opt.Linkage})
+		if err != nil {
+			return nil, err
+		}
+		res.Assignments = dend.CutAt(opt.Theta)
+	}
+	res.Real = time.Since(start)
+	return res, nil
+}
+
+// sketchJob computes minwise signatures for all reads as a map-only job.
+func sketchJob(engine *mapreduce.Engine, reads []fasta.Record, opt Options) ([]minhash.Signature, time.Duration, error) {
+	sk, err := minhash.NewSketcher(opt.NumHashes, opt.K, opt.Seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	ex := &kmer.Extractor{K: opt.K, Canonical: opt.Canonical}
+	records := make([]mapreduce.KeyValue, len(reads))
+	for i := range reads {
+		records[i] = mapreduce.KeyValue{Key: fmt.Sprintf("%012d", i), Value: i}
+	}
+	job := &mapreduce.Job{
+		Name:  "mrmcminh-sketch",
+		Input: mapreduce.MemoryInput{Records: records, SplitSize: splitSize(len(records), engine.Cluster)},
+		// Sketching one read costs ~L·n hash evaluations, far above the
+		// baseline per-record map cost.
+		MapCostFactor: float64(opt.NumHashes) / 2,
+		Map: func(kv mapreduce.KeyValue, emit func(mapreduce.KeyValue)) error {
+			i := kv.Value.(int)
+			set := ex.Set(reads[i].Seq)
+			emit(mapreduce.KeyValue{Key: kv.Key, Value: sk.Sketch(set)})
+			return nil
+		},
+	}
+	out, err := engine.Run(job)
+	if err != nil {
+		return nil, 0, err
+	}
+	sigs := make([]minhash.Signature, len(reads))
+	for _, kv := range out.Output {
+		var idx int
+		if _, err := fmt.Sscanf(kv.Key, "%d", &idx); err != nil {
+			return nil, 0, err
+		}
+		sigs[idx] = kv.Value.(minhash.Signature)
+	}
+	return sigs, out.Virtual, nil
+}
+
+// greedyJob runs Algorithm 1 inside a single reducer (the paper's GROUP
+// ALL followed by the GreedyClustering UDF).
+func greedyJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Options) (metrics.Clustering, time.Duration, error) {
+	type indexedSig struct {
+		idx int
+		sig minhash.Signature
+	}
+	records := make([]mapreduce.KeyValue, len(sigs))
+	for i := range sigs {
+		records[i] = mapreduce.KeyValue{Key: "all", Value: indexedSig{idx: i, sig: sigs[i]}}
+	}
+	labels := make(metrics.Clustering, len(sigs))
+	job := &mapreduce.Job{
+		Name:        "mrmcminh-greedy",
+		Input:       mapreduce.MemoryInput{Records: records, SplitSize: splitSize(len(records), engine.Cluster)},
+		NumReducers: 1,
+		// The greedy sweep compares each read against the shrinking set of
+		// cluster representatives — modelled as a bounded constant per
+		// read, far below the hierarchical all-pairs row cost.
+		ReduceCostFactor: 7.5,
+		Map: func(kv mapreduce.KeyValue, emit func(mapreduce.KeyValue)) error {
+			emit(kv)
+			return nil
+		},
+		Reduce: func(_ string, values []any, emit func(mapreduce.KeyValue)) error {
+			ordered := make([]minhash.Signature, len(values))
+			for _, v := range values {
+				is := v.(indexedSig)
+				ordered[is.idx] = is.sig
+			}
+			gopt := cluster.GreedyOptions{Threshold: opt.Theta, Estimator: opt.Estimator}
+			var got metrics.Clustering
+			var err error
+			if opt.UseLSH {
+				got, err = cluster.GreedyLSH(ordered, gopt, cluster.GeometryFor(opt.NumHashes, opt.Theta))
+			} else {
+				got, err = cluster.Greedy(ordered, gopt)
+			}
+			if err != nil {
+				return err
+			}
+			copy(labels, got)
+			return nil
+		},
+	}
+	out, err := engine.Run(job)
+	if err != nil {
+		return nil, 0, err
+	}
+	return labels, out.Virtual, nil
+}
+
+// similarityJob computes the all-pairs matrix with row-partitioned map
+// tasks (paper §III-C: "calculation of all pairwise similarity is
+// performed in parallel by performing a row-wise partition").
+func similarityJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Options) (*cluster.Matrix, time.Duration, error) {
+	n := len(sigs)
+	m, err := cluster.NewMatrix(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	records := make([]mapreduce.KeyValue, n)
+	for i := range records {
+		records[i] = mapreduce.KeyValue{Key: fmt.Sprintf("%012d", i), Value: i}
+	}
+	type rowResult struct {
+		idx int
+		row []float64
+	}
+	job := &mapreduce.Job{
+		Name:  "mrmcminh-simrows",
+		Input: mapreduce.MemoryInput{Records: records, SplitSize: splitSize(n, engine.Cluster)},
+		// One record = one matrix row = ~n signature comparisons, each a
+		// ~100-value sketch scan plus Hadoop (de)serialization.
+		MapCostFactor: float64(n) * 2.5,
+		Map: func(kv mapreduce.KeyValue, emit func(mapreduce.KeyValue)) error {
+			i := kv.Value.(int)
+			row := make([]float64, n)
+			for j := i + 1; j < n; j++ {
+				row[j] = opt.Estimator.Similarity(sigs[i], sigs[j])
+			}
+			emit(mapreduce.KeyValue{Key: kv.Key, Value: rowResult{idx: i, row: row}})
+			return nil
+		},
+	}
+	out, err := engine.Run(job)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, kv := range out.Output {
+		rr := kv.Value.(rowResult)
+		for j := rr.idx + 1; j < n; j++ {
+			m.Set(rr.idx, j, rr.row[j])
+		}
+	}
+	return m, out.Virtual, nil
+}
+
+// splitSize sizes in-memory splits for the cluster (two waves per slot).
+func splitSize(n int, c mapreduce.Cluster) int {
+	waves := 2 * c.TotalSlots()
+	size := (n + waves - 1) / waves
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// ClustersByID converts a result into clusterID -> read IDs, sorted for
+// stable output.
+func (r *Result) ClustersByID() map[int][]string {
+	out := make(map[int][]string)
+	for i, l := range r.Assignments {
+		if l >= 0 {
+			out[l] = append(out[l], r.ReadIDs[i])
+		}
+	}
+	for _, ids := range out {
+		sort.Strings(ids)
+	}
+	return out
+}

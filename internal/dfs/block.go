@@ -1,0 +1,66 @@
+// Package dfs is an in-memory simulation of a Hadoop-style distributed
+// file system (HDFS): files are split into fixed-size blocks, blocks are
+// replicated across datanodes, and a namenode tracks the block map.
+//
+// The paper stores FASTA input and clustering output as HDFS files and
+// lets Hadoop schedule map tasks near their blocks. This package provides
+// the same abstractions — block placement, replica-aware reads, and I/O
+// accounting the MapReduce cost model consumes — without requiring a real
+// cluster.
+package dfs
+
+import "fmt"
+
+// BlockID identifies one block globally.
+type BlockID uint64
+
+// Block is one replicated chunk of file data.
+type Block struct {
+	ID BlockID
+	// Replicas lists datanode ids holding a copy, primary first.
+	Replicas []int
+	// Len is the number of bytes of file data in the block.
+	Len int
+}
+
+// blockKey formats a BlockID for error messages.
+func (id BlockID) String() string { return fmt.Sprintf("blk_%d", uint64(id)) }
+
+// DataNode stores block payloads for one simulated machine.
+type DataNode struct {
+	ID     int
+	blocks map[BlockID][]byte
+}
+
+// newDataNode returns an empty datanode.
+func newDataNode(id int) *DataNode {
+	return &DataNode{ID: id, blocks: make(map[BlockID][]byte)}
+}
+
+// store writes a block replica.
+func (dn *DataNode) store(id BlockID, data []byte) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	dn.blocks[id] = buf
+}
+
+// read fetches a block replica.
+func (dn *DataNode) read(id BlockID) ([]byte, bool) {
+	b, ok := dn.blocks[id]
+	return b, ok
+}
+
+// drop removes a block replica.
+func (dn *DataNode) drop(id BlockID) { delete(dn.blocks, id) }
+
+// NumBlocks returns how many replicas this datanode holds.
+func (dn *DataNode) NumBlocks() int { return len(dn.blocks) }
+
+// UsedBytes returns the storage consumed on this datanode.
+func (dn *DataNode) UsedBytes() int {
+	n := 0
+	for _, b := range dn.blocks {
+		n += len(b)
+	}
+	return n
+}

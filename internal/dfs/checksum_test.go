@@ -1,0 +1,118 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReadFailsOverCorruptReplica(t *testing.T) {
+	fs := MustNew(Config{NumDataNodes: 3, BlockSize: 64, Replication: 2})
+	data := []byte("precious sequencing data")
+	if err := fs.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CorruptReplica("/f", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read returned corrupt data: %q", got)
+	}
+	if fs.Stats().CorruptReads == 0 {
+		t.Fatal("corrupt replica read not accounted")
+	}
+}
+
+func TestReadFailsWhenAllReplicasCorrupt(t *testing.T) {
+	fs := MustNew(Config{NumDataNodes: 3, BlockSize: 64, Replication: 2})
+	fs.WriteFile("/f", []byte("doomed"))
+	if err := fs.CorruptReplica("/f", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CorruptReplica("/f", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("/f"); err == nil {
+		t.Fatal("read succeeded with all replicas corrupt")
+	}
+}
+
+func TestCorruptReplicaValidation(t *testing.T) {
+	fs := MustNew(Config{NumDataNodes: 2, BlockSize: 64, Replication: 1})
+	fs.WriteFile("/f", []byte("x"))
+	if err := fs.CorruptReplica("/nope", 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := fs.CorruptReplica("/f", 5, 0); err == nil {
+		t.Error("bad block index accepted")
+	}
+	if err := fs.CorruptReplica("/f", 0, 5); err == nil {
+		t.Error("bad replica index accepted")
+	}
+	fs.WriteFile("/empty", nil)
+	if err := fs.CorruptReplica("/empty", 0, 0); err == nil {
+		t.Error("empty block corruption accepted")
+	}
+}
+
+func TestVerifyReplicasDetectsCorruption(t *testing.T) {
+	fs := MustNew(Config{NumDataNodes: 3, BlockSize: 16, Replication: 2})
+	fs.WriteFile("/f", make([]byte, 48)) // 3 blocks
+	if bad := fs.VerifyReplicas(); len(bad) != 0 {
+		t.Fatalf("clean FS reports corruption: %v", bad)
+	}
+	fs.CorruptReplica("/f", 1, 0)
+	bad := fs.VerifyReplicas()
+	if len(bad["/f"]) != 1 || bad["/f"][0] != 1 {
+		t.Fatalf("corruption report %v", bad)
+	}
+}
+
+func TestQuarantineAndRepair(t *testing.T) {
+	fs := MustNew(Config{NumDataNodes: 4, BlockSize: 32, Replication: 2})
+	data := make([]byte, 96)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	fs.WriteFile("/f", data)
+	fs.CorruptReplica("/f", 0, 0)
+	fs.CorruptReplica("/f", 2, 1)
+	removed := fs.QuarantineCorrupt()
+	if removed != 2 {
+		t.Fatalf("quarantined %d replicas, want 2", removed)
+	}
+	// Under-replicated now; repair from healthy copies.
+	if ur := fs.UnderReplicated(); len(ur["/f"]) != 2 {
+		t.Fatalf("under-replication %v", ur)
+	}
+	if _, err := fs.ReReplicate(); err != nil {
+		t.Fatal(err)
+	}
+	if bad := fs.VerifyReplicas(); len(bad) != 0 {
+		t.Fatalf("still corrupt after repair: %v", bad)
+	}
+	got, err := fs.ReadFile("/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("data mismatch after repair: %v", err)
+	}
+}
+
+func TestReReplicateNeverCopiesCorruptSource(t *testing.T) {
+	fs := MustNew(Config{NumDataNodes: 4, BlockSize: 64, Replication: 2})
+	data := []byte("authoritative content here")
+	fs.WriteFile("/f", data)
+	// Corrupt the primary replica, then kill the node holding the clean
+	// one; repair must fail loudly rather than propagate corruption...
+	blocks, _ := fs.Blocks("/f")
+	fs.CorruptReplica("/f", 0, 0)
+	cleanHolder := blocks[0].Replicas[1]
+	if err := fs.KillDataNode(cleanHolder); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReReplicate(); err == nil {
+		t.Fatal("repair from a corrupt-only source succeeded")
+	}
+}

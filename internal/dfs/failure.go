@@ -1,0 +1,179 @@
+package dfs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Failure injection — HDFS's defining behaviour is surviving datanode
+// loss: reads fail over to surviving replicas and the namenode re-creates
+// missing replicas on healthy nodes. These hooks let tests and examples
+// exercise that path.
+
+// KillDataNode marks a datanode dead: its replicas become unreadable and
+// it receives no new blocks until revived. Killing an unknown or already
+// dead node is an error.
+func (fs *FileSystem) KillDataNode(id int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if id < 0 || id >= len(fs.nodes) {
+		return fmt.Errorf("dfs: no datanode %d", id)
+	}
+	if fs.dead == nil {
+		fs.dead = make(map[int]bool)
+	}
+	if fs.dead[id] {
+		return fmt.Errorf("dfs: datanode %d already dead", id)
+	}
+	if len(fs.dead) == len(fs.nodes)-1 {
+		return fmt.Errorf("dfs: refusing to kill the last live datanode")
+	}
+	fs.dead[id] = true
+	return nil
+}
+
+// ReviveDataNode brings a dead datanode back, empty (as if re-imaged):
+// HDFS does not trust stale replicas after a restart.
+func (fs *FileSystem) ReviveDataNode(id int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if id < 0 || id >= len(fs.nodes) {
+		return fmt.Errorf("dfs: no datanode %d", id)
+	}
+	if !fs.dead[id] {
+		return fmt.Errorf("dfs: datanode %d is not dead", id)
+	}
+	delete(fs.dead, id)
+	fs.nodes[id] = newDataNode(id)
+	// Drop it from every block's replica list; re-replication will
+	// repopulate it over time.
+	for path, blocks := range fs.files {
+		for bi := range blocks {
+			blocks[bi].Replicas = removeHost(blocks[bi].Replicas, id)
+		}
+		fs.files[path] = blocks
+	}
+	return nil
+}
+
+// DeadDataNodes lists dead node ids, sorted.
+func (fs *FileSystem) DeadDataNodes() []int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]int, 0, len(fs.dead))
+	for id := range fs.dead {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// alive reports whether a node can serve reads/writes.
+func (fs *FileSystem) alive(id int) bool { return !fs.dead[id] }
+
+// UnderReplicated returns "path -> block indices" for blocks with fewer
+// live replicas than the configured replication factor.
+func (fs *FileSystem) UnderReplicated() map[string][]int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make(map[string][]int)
+	for path, blocks := range fs.files {
+		for bi, blk := range blocks {
+			if fs.liveReplicasLocked(blk) < fs.cfg.Replication {
+				out[path] = append(out[path], bi)
+			}
+		}
+	}
+	return out
+}
+
+// liveReplicasLocked counts replicas on live nodes.
+func (fs *FileSystem) liveReplicasLocked(blk Block) int {
+	n := 0
+	for _, host := range blk.Replicas {
+		if fs.alive(host) {
+			if _, ok := fs.nodes[host].read(blk.ID); ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ReReplicate restores every under-replicated block to full replication
+// by copying a surviving replica to live nodes that lack one. It returns
+// the number of new replicas created. Blocks with zero surviving replicas
+// are reported as errors (data loss) after all repairable blocks are
+// fixed.
+func (fs *FileSystem) ReReplicate() (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	created := 0
+	var lost []string
+	for path, blocks := range fs.files {
+		for bi := range blocks {
+			blk := &blocks[bi]
+			// Find a live, checksum-clean source replica.
+			var data []byte
+			var liveHosts []int
+			want, hasSum := fs.checksums[blk.ID]
+			for _, host := range blk.Replicas {
+				if !fs.alive(host) {
+					continue
+				}
+				if d, ok := fs.nodes[host].read(blk.ID); ok {
+					if hasSum && checksumOf(d) != want {
+						continue // corrupt replica: not a copy source
+					}
+					if data == nil {
+						data = d
+					}
+					liveHosts = append(liveHosts, host)
+				}
+			}
+			if data == nil {
+				lost = append(lost, fmt.Sprintf("%s block %d (%s)", path, bi, blk.ID))
+				continue
+			}
+			// Copy to live nodes lacking a replica until fully replicated.
+			for target := 0; target < len(fs.nodes) && len(liveHosts) < fs.cfg.Replication; target++ {
+				node := (fs.nextNode + target) % len(fs.nodes)
+				if !fs.alive(node) || containsHost(liveHosts, node) {
+					continue
+				}
+				fs.nodes[node].store(blk.ID, data)
+				liveHosts = append(liveHosts, node)
+				fs.stats.BytesWritten += int64(len(data))
+				created++
+			}
+			blk.Replicas = liveHosts
+		}
+		fs.files[path] = blocks
+	}
+	if len(lost) > 0 {
+		sort.Strings(lost)
+		return created, fmt.Errorf("dfs: %d blocks lost all replicas: %v", len(lost), lost)
+	}
+	return created, nil
+}
+
+// removeHost drops id from a host list.
+func removeHost(hosts []int, id int) []int {
+	out := hosts[:0]
+	for _, h := range hosts {
+		if h != id {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// containsHost reports membership.
+func containsHost(hosts []int, id int) bool {
+	for _, h := range hosts {
+		if h == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,205 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func failFS(t *testing.T) *FileSystem {
+	t.Helper()
+	return MustNew(Config{NumDataNodes: 4, BlockSize: 16, Replication: 2})
+}
+
+func TestKillValidation(t *testing.T) {
+	fs := failFS(t)
+	if err := fs.KillDataNode(-1); err == nil {
+		t.Error("negative id accepted")
+	}
+	if err := fs.KillDataNode(9); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if err := fs.KillDataNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.KillDataNode(0); err == nil {
+		t.Error("double kill accepted")
+	}
+	if got := fs.DeadDataNodes(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("dead %v", got)
+	}
+}
+
+func TestCannotKillLastNode(t *testing.T) {
+	fs := failFS(t)
+	for _, id := range []int{0, 1, 2} {
+		if err := fs.KillDataNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.KillDataNode(3); err == nil {
+		t.Fatal("killed the last live node")
+	}
+}
+
+func TestReadSurvivesSingleNodeLoss(t *testing.T) {
+	fs := failFS(t)
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := fs.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := fs.Blocks("/f")
+	// Kill the primary replica holder of the first block.
+	if err := fs.KillDataNode(blocks[0].Replicas[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted after node loss")
+	}
+}
+
+func TestReadFailsWhenAllReplicasDead(t *testing.T) {
+	fs := MustNew(Config{NumDataNodes: 4, BlockSize: 64, Replication: 1})
+	fs.WriteFile("/f", []byte("payload"))
+	blocks, _ := fs.Blocks("/f")
+	if err := fs.KillDataNode(blocks[0].Replicas[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("/f"); err == nil {
+		t.Fatal("read succeeded with every replica dead")
+	}
+}
+
+func TestUnderReplicatedDetection(t *testing.T) {
+	fs := failFS(t)
+	fs.WriteFile("/f", make([]byte, 64)) // 4 blocks x 2 replicas over 4 nodes
+	if ur := fs.UnderReplicated(); len(ur) != 0 {
+		t.Fatalf("healthy FS reports under-replication: %v", ur)
+	}
+	fs.KillDataNode(0)
+	ur := fs.UnderReplicated()
+	if len(ur["/f"]) == 0 {
+		t.Fatal("node loss not reflected in under-replication report")
+	}
+}
+
+func TestReReplicateRestoresReplication(t *testing.T) {
+	fs := failFS(t)
+	data := make([]byte, 80)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	fs.WriteFile("/f", data)
+	fs.KillDataNode(1)
+	created, err := fs.ReReplicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created == 0 {
+		t.Fatal("no replicas created")
+	}
+	if ur := fs.UnderReplicated(); len(ur) != 0 {
+		t.Fatalf("still under-replicated after repair: %v", ur)
+	}
+	// Data still intact, and still intact even if another node dies now.
+	got, err := fs.ReadFile("/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("data mismatch after re-replication: %v", err)
+	}
+	fs.KillDataNode(2)
+	got, err = fs.ReadFile("/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("data mismatch after second loss: %v", err)
+	}
+}
+
+func TestReReplicateReportsDataLoss(t *testing.T) {
+	fs := MustNew(Config{NumDataNodes: 3, BlockSize: 64, Replication: 1})
+	fs.WriteFile("/f", []byte("gone"))
+	blocks, _ := fs.Blocks("/f")
+	fs.KillDataNode(blocks[0].Replicas[0])
+	if _, err := fs.ReReplicate(); err == nil {
+		t.Fatal("data loss not reported")
+	}
+}
+
+func TestReviveDataNode(t *testing.T) {
+	fs := failFS(t)
+	fs.WriteFile("/f", make([]byte, 48))
+	if err := fs.ReviveDataNode(0); err == nil {
+		t.Fatal("revived a live node")
+	}
+	fs.KillDataNode(0)
+	if err := fs.ReviveDataNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.DeadDataNodes()) != 0 {
+		t.Fatal("node still dead after revive")
+	}
+	// Revived node returns empty; its stale replicas are forgotten.
+	if fs.DataNodes()[0].NumBlocks() != 0 {
+		t.Fatal("revived node kept stale blocks")
+	}
+	// Re-replication can now use it again.
+	if _, err := fs.ReReplicate(); err != nil {
+		t.Fatal(err)
+	}
+	if ur := fs.UnderReplicated(); len(ur) != 0 {
+		t.Fatalf("under-replicated after revive+repair: %v", ur)
+	}
+	if err := fs.ReviveDataNode(9); err == nil {
+		t.Fatal("revived unknown node")
+	}
+}
+
+func TestWritePlacementSkipsDeadNodes(t *testing.T) {
+	fs := failFS(t)
+	fs.KillDataNode(0)
+	fs.KillDataNode(1)
+	fs.WriteFile("/f", make([]byte, 32))
+	blocks, _ := fs.Blocks("/f")
+	for _, blk := range blocks {
+		for _, host := range blk.Replicas {
+			if host == 0 || host == 1 {
+				t.Fatalf("block placed on dead node %d", host)
+			}
+		}
+		if len(blk.Replicas) != 2 {
+			t.Fatalf("replication %d with 2 live nodes", len(blk.Replicas))
+		}
+	}
+}
+
+func TestWholePipelineSurvivesNodeLossWithRepair(t *testing.T) {
+	// End-to-end failure story: write, lose a node, repair, lose another,
+	// still read everything.
+	fs := MustNew(Config{NumDataNodes: 5, BlockSize: 8, Replication: 3})
+	var lines []string
+	for i := 0; i < 40; i++ {
+		lines = append(lines, "record")
+	}
+	if err := fs.WriteLines("/l", lines); err != nil {
+		t.Fatal(err)
+	}
+	for _, victim := range []int{0, 3} {
+		if err := fs.KillDataNode(victim); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.ReReplicate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := fs.ReadLines("/l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 40 {
+		t.Fatalf("read %d lines, want 40", len(got))
+	}
+}

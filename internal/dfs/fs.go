@@ -1,0 +1,327 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Config sizes the simulated file system.
+type Config struct {
+	// NumDataNodes is the number of simulated storage machines.
+	NumDataNodes int
+	// BlockSize is the maximum bytes per block (HDFS default is 64/128 MB;
+	// tests use small values to exercise multi-block paths).
+	BlockSize int
+	// Replication is the number of replicas per block, capped at
+	// NumDataNodes.
+	Replication int
+}
+
+// DefaultConfig mirrors a small Hadoop deployment: 4 datanodes, 64 KiB
+// blocks (scaled down from 64 MiB so unit tests split files), 3 replicas.
+var DefaultConfig = Config{NumDataNodes: 4, BlockSize: 64 * 1024, Replication: 3}
+
+// Stats accounts I/O traffic for the cost model.
+type Stats struct {
+	BlocksWritten int64
+	BlocksRead    int64
+	BytesWritten  int64 // includes replication traffic
+	BytesRead     int64
+	LocalReads    int64 // reads served by the preferred node
+	RemoteReads   int64
+	// CorruptReads counts replica reads rejected by checksum verification.
+	CorruptReads int64
+}
+
+// FileSystem is the namenode plus its datanodes.
+type FileSystem struct {
+	mu        sync.RWMutex
+	cfg       Config
+	nodes     []*DataNode
+	files     map[string][]Block // path -> ordered blocks
+	nextBlock BlockID
+	nextNode  int // round-robin placement cursor
+	stats     Stats
+	dead      map[int]bool       // failed datanodes (see failure.go)
+	checksums map[BlockID]uint32 // per-block CRC32C (see checksum.go)
+}
+
+// New creates a file system with the given configuration.
+func New(cfg Config) (*FileSystem, error) {
+	if cfg.NumDataNodes < 1 {
+		return nil, fmt.Errorf("dfs: need at least one datanode, got %d", cfg.NumDataNodes)
+	}
+	if cfg.BlockSize < 1 {
+		return nil, fmt.Errorf("dfs: block size must be positive, got %d", cfg.BlockSize)
+	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 1
+	}
+	if cfg.Replication > cfg.NumDataNodes {
+		cfg.Replication = cfg.NumDataNodes
+	}
+	fs := &FileSystem{
+		cfg:       cfg,
+		files:     make(map[string][]Block),
+		checksums: make(map[BlockID]uint32),
+	}
+	for i := 0; i < cfg.NumDataNodes; i++ {
+		fs.nodes = append(fs.nodes, newDataNode(i))
+	}
+	return fs, nil
+}
+
+// MustNew is New panicking on error.
+func MustNew(cfg Config) *FileSystem {
+	fs, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}
+
+// Config returns the file system configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// WriteFile stores data at path, replacing any existing file. Data is
+// split into blocks placed round-robin with replication.
+func (fs *FileSystem) WriteFile(path string, data []byte) error {
+	if err := validPath(path); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.removeLocked(path)
+	var blocks []Block
+	for off := 0; off < len(data) || (off == 0 && len(data) == 0); off += fs.cfg.BlockSize {
+		end := off + fs.cfg.BlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := data[off:end]
+		blk := Block{ID: fs.nextBlock, Len: len(chunk)}
+		fs.nextBlock++
+		fs.checksums[blk.ID] = checksumOf(chunk)
+		placed := 0
+		for off := 0; off < len(fs.nodes) && placed < fs.cfg.Replication; off++ {
+			node := (fs.nextNode + off) % len(fs.nodes)
+			if !fs.alive(node) {
+				continue
+			}
+			fs.nodes[node].store(blk.ID, chunk)
+			blk.Replicas = append(blk.Replicas, node)
+			fs.stats.BytesWritten += int64(len(chunk))
+			placed++
+		}
+		fs.stats.BlocksWritten++
+		fs.nextNode = (fs.nextNode + 1) % len(fs.nodes)
+		blocks = append(blocks, blk)
+		if len(data) == 0 {
+			break
+		}
+	}
+	fs.files[path] = blocks
+	return nil
+}
+
+// ReadFile returns the full contents of path.
+func (fs *FileSystem) ReadFile(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	blocks, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	var buf bytes.Buffer
+	for _, blk := range blocks {
+		data, err := fs.readBlockLocked(blk, -1)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(data)
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadBlock reads one block, preferring a replica on nearNode (pass -1 for
+// no preference). It reports whether the read was local to nearNode.
+func (fs *FileSystem) ReadBlock(path string, index int, nearNode int) ([]byte, bool, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	blocks, ok := fs.files[path]
+	if !ok {
+		return nil, false, fmt.Errorf("dfs: no such file %q", path)
+	}
+	if index < 0 || index >= len(blocks) {
+		return nil, false, fmt.Errorf("dfs: block index %d out of range for %q (%d blocks)", index, path, len(blocks))
+	}
+	blk := blocks[index]
+	data, err := fs.readBlockLocked(blk, nearNode)
+	if err != nil {
+		return nil, false, err
+	}
+	local := nearNode >= 0 && hasReplica(blk, nearNode)
+	return data, local, nil
+}
+
+// readBlockLocked fetches block data from the best replica.
+func (fs *FileSystem) readBlockLocked(blk Block, nearNode int) ([]byte, error) {
+	order := blk.Replicas
+	if nearNode >= 0 && hasReplica(blk, nearNode) {
+		order = append([]int{nearNode}, blk.Replicas...)
+	}
+	want, hasSum := fs.checksums[blk.ID]
+	for _, node := range order {
+		if !fs.alive(node) {
+			continue
+		}
+		if data, ok := fs.nodes[node].read(blk.ID); ok {
+			if hasSum && checksumOf(data) != want {
+				fs.stats.CorruptReads++
+				continue // fail over to the next replica
+			}
+			fs.stats.BlocksRead++
+			fs.stats.BytesRead += int64(len(data))
+			if nearNode >= 0 && node == nearNode {
+				fs.stats.LocalReads++
+			} else {
+				fs.stats.RemoteReads++
+			}
+			return data, nil
+		}
+	}
+	return nil, fmt.Errorf("dfs: all replicas of %s lost", blk.ID)
+}
+
+func hasReplica(blk Block, node int) bool {
+	for _, r := range blk.Replicas {
+		if r == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Blocks returns the block metadata of path (copy).
+func (fs *FileSystem) Blocks(path string) ([]Block, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	blocks, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	out := make([]Block, len(blocks))
+	copy(out, blocks)
+	return out, nil
+}
+
+// Stat returns the file size in bytes.
+func (fs *FileSystem) Stat(path string) (int, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	blocks, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("dfs: no such file %q", path)
+	}
+	n := 0
+	for _, blk := range blocks {
+		n += blk.Len
+	}
+	return n, nil
+}
+
+// Exists reports whether path exists.
+func (fs *FileSystem) Exists(path string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Remove deletes path. Removing a missing file is an error.
+func (fs *FileSystem) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("dfs: no such file %q", path)
+	}
+	fs.removeLocked(path)
+	return nil
+}
+
+// removeLocked drops all replicas of path's blocks.
+func (fs *FileSystem) removeLocked(path string) {
+	for _, blk := range fs.files[path] {
+		for _, node := range blk.Replicas {
+			fs.nodes[node].drop(blk.ID)
+		}
+		delete(fs.checksums, blk.ID)
+	}
+	delete(fs.files, path)
+}
+
+// Rename moves a file to a new path.
+func (fs *FileSystem) Rename(from, to string) error {
+	if err := validPath(to); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	blocks, ok := fs.files[from]
+	if !ok {
+		return fmt.Errorf("dfs: no such file %q", from)
+	}
+	if _, exists := fs.files[to]; exists {
+		return fmt.Errorf("dfs: destination %q exists", to)
+	}
+	fs.files[to] = blocks
+	delete(fs.files, from)
+	return nil
+}
+
+// List returns all paths with the given prefix, sorted.
+func (fs *FileSystem) List(prefix string) []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a snapshot of I/O counters.
+func (fs *FileSystem) Stats() Stats {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.stats
+}
+
+// ResetStats zeroes the I/O counters.
+func (fs *FileSystem) ResetStats() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats = Stats{}
+}
+
+// DataNodes exposes the simulated datanodes (for balance inspection).
+func (fs *FileSystem) DataNodes() []*DataNode {
+	return fs.nodes
+}
+
+// validPath enforces absolute, slash-rooted HDFS-style paths.
+func validPath(path string) error {
+	if path == "" || !strings.HasPrefix(path, "/") {
+		return fmt.Errorf("dfs: path must be absolute, got %q", path)
+	}
+	if strings.Contains(path, "//") || strings.HasSuffix(path, "/") {
+		return fmt.Errorf("dfs: malformed path %q", path)
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+// Package diversity computes the species-diversity statistics that
+// metagenome clustering feeds (paper §I: successful grouping "allows
+// computation of species diversity metrics"): OTU richness, Shannon and
+// Simpson indices, the Chao1 richness estimator, Good's coverage, and
+// rarefaction curves — the standard outputs of 16S studies like the
+// Sogin et al. seawater survey the paper benchmarks on.
+package diversity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/metagenomics/mrmcminh/internal/metrics"
+)
+
+// Profile summarizes one clustering solution as an abundance profile.
+type Profile struct {
+	// Counts holds one entry per cluster (OTU): its member count.
+	Counts []int
+	// IDs holds the original cluster labels, index-aligned with Counts.
+	IDs []int
+	// Total is the number of assigned reads.
+	Total int
+}
+
+// NewProfile builds an abundance profile from cluster assignments.
+func NewProfile(c metrics.Clustering) Profile {
+	sizes := c.Sizes()
+	p := Profile{Counts: make([]int, 0, len(sizes))}
+	ids := make([]int, 0, len(sizes))
+	for id := range sizes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // deterministic order
+	for _, id := range ids {
+		p.Counts = append(p.Counts, sizes[id])
+		p.IDs = append(p.IDs, id)
+		p.Total += sizes[id]
+	}
+	return p
+}
+
+// Richness is the observed OTU count.
+func (p Profile) Richness() int { return len(p.Counts) }
+
+// Singletons counts OTUs observed exactly once.
+func (p Profile) Singletons() int { return p.countWith(1) }
+
+// Doubletons counts OTUs observed exactly twice.
+func (p Profile) Doubletons() int { return p.countWith(2) }
+
+// countWith counts OTUs with exactly n members.
+func (p Profile) countWith(n int) int {
+	k := 0
+	for _, c := range p.Counts {
+		if c == n {
+			k++
+		}
+	}
+	return k
+}
+
+// Shannon returns the Shannon diversity index H' = -Σ p_i ln p_i.
+// An empty profile has H' = 0.
+func (p Profile) Shannon() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range p.Counts {
+		if c == 0 {
+			continue
+		}
+		pi := float64(c) / float64(p.Total)
+		h -= pi * math.Log(pi)
+	}
+	return h
+}
+
+// Simpson returns the Simpson diversity index 1 - Σ p_i², the probability
+// that two random reads come from different OTUs.
+func (p Profile) Simpson() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, c := range p.Counts {
+		pi := float64(c) / float64(p.Total)
+		s += pi * pi
+	}
+	return 1 - s
+}
+
+// Chao1 returns the Chao1 richness estimator
+// S_chao1 = S_obs + F1²/(2·F2), using the bias-corrected form
+// S_obs + F1(F1-1)/(2(F2+1)) when F2 = 0. It estimates how many OTUs the
+// sample would reveal with unbounded sequencing depth — the question the
+// "rare biosphere" studies ask.
+func (p Profile) Chao1() float64 {
+	f1 := float64(p.Singletons())
+	f2 := float64(p.Doubletons())
+	s := float64(p.Richness())
+	if f2 == 0 {
+		return s + f1*(f1-1)/2
+	}
+	return s + f1*f1/(2*f2)
+}
+
+// GoodsCoverage returns Good's coverage estimate 1 - F1/N: the fraction
+// of the community the sample has already seen.
+func (p Profile) GoodsCoverage() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return 1 - float64(p.Singletons())/float64(p.Total)
+}
+
+// Evenness returns Pielou's evenness J' = H'/ln(S), in [0,1]; 1 when all
+// OTUs are equally abundant. Profiles with a single OTU return 1.
+func (p Profile) Evenness() float64 {
+	s := p.Richness()
+	if s <= 1 {
+		return 1
+	}
+	return p.Shannon() / math.Log(float64(s))
+}
+
+// RarefactionPoint is one (depth, expected OTUs) sample.
+type RarefactionPoint struct {
+	Depth int
+	OTUs  float64
+}
+
+// Rarefaction estimates the expected OTU count at each subsampling depth
+// by Monte-Carlo resampling without replacement (trials per depth,
+// deterministic in seed). Depths beyond the profile total are clamped.
+func (p Profile) Rarefaction(depths []int, trials int, seed int64) ([]RarefactionPoint, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("diversity: trials must be positive, got %d", trials)
+	}
+	// Expand the profile into a read->OTU list once.
+	reads := make([]int, 0, p.Total)
+	for otu, c := range p.Counts {
+		for i := 0; i < c; i++ {
+			reads = append(reads, otu)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]RarefactionPoint, 0, len(depths))
+	for _, d := range depths {
+		if d < 0 {
+			return nil, fmt.Errorf("diversity: negative depth %d", d)
+		}
+		if d > len(reads) {
+			d = len(reads)
+		}
+		sum := 0.0
+		for t := 0; t < trials; t++ {
+			rng.Shuffle(len(reads), func(i, j int) { reads[i], reads[j] = reads[j], reads[i] })
+			seen := map[int]struct{}{}
+			for _, otu := range reads[:d] {
+				seen[otu] = struct{}{}
+			}
+			sum += float64(len(seen))
+		}
+		out = append(out, RarefactionPoint{Depth: d, OTUs: sum / float64(trials)})
+	}
+	return out, nil
+}
+
+// OTUTable renders the classic tab-separated OTU table: one row per OTU
+// with its size, relative abundance and optional representative id —
+// the interchange format QIIME-era 16S pipelines pass between tools.
+// reps and names may be nil.
+func (p Profile) OTUTable(reps map[int]int, names map[int]string) string {
+	var sb strings.Builder
+	sb.WriteString("#OTU\tsize\trel_abundance\trepresentative\tlabel\n")
+	for i, count := range p.Counts {
+		otu := i
+		if i < len(p.IDs) {
+			otu = p.IDs[i]
+		}
+		rel := 0.0
+		if p.Total > 0 {
+			rel = float64(count) / float64(p.Total)
+		}
+		rep := ""
+		if reps != nil {
+			if r, ok := reps[otu]; ok {
+				rep = fmt.Sprint(r)
+			}
+		}
+		name := ""
+		if names != nil {
+			name = names[otu]
+		}
+		fmt.Fprintf(&sb, "%d\t%d\t%.4f\t%s\t%s\n", otu, count, rel, rep, name)
+	}
+	return sb.String()
+}
+
+// Report renders the standard diversity summary block.
+func (p Profile) Report() string {
+	return fmt.Sprintf(
+		"reads: %d\nOTUs (observed): %d\nChao1 (estimated richness): %.1f\nShannon H': %.3f\nSimpson 1-D: %.3f\nPielou evenness: %.3f\nGood's coverage: %.1f%%\n",
+		p.Total, p.Richness(), p.Chao1(), p.Shannon(), p.Simpson(), p.Evenness(), 100*p.GoodsCoverage())
+}

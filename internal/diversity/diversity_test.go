@@ -1,0 +1,218 @@
+package diversity
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/metagenomics/mrmcminh/internal/metrics"
+)
+
+func profileOf(counts ...int) Profile {
+	var c metrics.Clustering
+	for id, n := range counts {
+		for i := 0; i < n; i++ {
+			c = append(c, id)
+		}
+	}
+	return NewProfile(c)
+}
+
+func TestNewProfile(t *testing.T) {
+	p := NewProfile(metrics.Clustering{0, 0, 1, 2, 2, 2, -1})
+	if p.Total != 6 {
+		t.Fatalf("total %d", p.Total)
+	}
+	if p.Richness() != 3 {
+		t.Fatalf("richness %d", p.Richness())
+	}
+	if p.Singletons() != 1 || p.Doubletons() != 1 {
+		t.Fatalf("F1=%d F2=%d", p.Singletons(), p.Doubletons())
+	}
+}
+
+func TestShannonKnownValues(t *testing.T) {
+	// Two equally abundant OTUs: H' = ln 2.
+	p := profileOf(10, 10)
+	if got := p.Shannon(); math.Abs(got-math.Ln2) > 1e-12 {
+		t.Fatalf("H' = %v, want ln 2", got)
+	}
+	// Single OTU: H' = 0.
+	if got := profileOf(42).Shannon(); got != 0 {
+		t.Fatalf("single-OTU H' = %v", got)
+	}
+	// Empty: 0.
+	if got := (Profile{}).Shannon(); got != 0 {
+		t.Fatalf("empty H' = %v", got)
+	}
+}
+
+func TestSimpsonKnownValues(t *testing.T) {
+	// Two equal OTUs: 1 - 2*(1/2)² = 0.5.
+	if got := profileOf(5, 5).Simpson(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Simpson = %v", got)
+	}
+	if got := profileOf(7).Simpson(); got != 0 {
+		t.Fatalf("single-OTU Simpson = %v", got)
+	}
+	if got := (Profile{}).Simpson(); got != 0 {
+		t.Fatalf("empty Simpson = %v", got)
+	}
+}
+
+func TestChao1(t *testing.T) {
+	// S=3, F1=2 (two singletons), F2=1 -> 3 + 4/2 = 5.
+	p := profileOf(1, 1, 2)
+	if got := p.Chao1(); got != 5 {
+		t.Fatalf("Chao1 = %v, want 5", got)
+	}
+	// F2=0 bias-corrected: S=2, F1=2 -> 2 + 2*1/2 = 3.
+	p = profileOf(1, 1)
+	if got := p.Chao1(); got != 3 {
+		t.Fatalf("Chao1 = %v, want 3", got)
+	}
+	// No singletons: Chao1 = S.
+	p = profileOf(3, 4)
+	if got := p.Chao1(); got != 2 {
+		t.Fatalf("Chao1 = %v, want 2", got)
+	}
+}
+
+func TestGoodsCoverage(t *testing.T) {
+	// 10 reads, 2 singletons -> 0.8.
+	p := profileOf(4, 4, 1, 1)
+	if got := p.GoodsCoverage(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("coverage %v", got)
+	}
+	if got := (Profile{}).GoodsCoverage(); got != 0 {
+		t.Fatalf("empty coverage %v", got)
+	}
+}
+
+func TestEvenness(t *testing.T) {
+	if got := profileOf(5, 5, 5).Evenness(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("uniform evenness %v", got)
+	}
+	if got := profileOf(100, 1).Evenness(); got >= 0.5 {
+		t.Fatalf("skewed evenness %v", got)
+	}
+	if got := profileOf(9).Evenness(); got != 1 {
+		t.Fatalf("single-OTU evenness %v", got)
+	}
+}
+
+func TestDiversityBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var counts []int
+		for _, r := range raw {
+			if r > 0 {
+				counts = append(counts, int(r))
+			}
+		}
+		if len(counts) == 0 {
+			return true
+		}
+		p := profileOf(counts...)
+		if p.Shannon() < 0 || p.Simpson() < 0 || p.Simpson() > 1 {
+			return false
+		}
+		if p.Chao1() < float64(p.Richness()) {
+			return false
+		}
+		if p.Evenness() < 0 || p.Evenness() > 1+1e-9 {
+			return false
+		}
+		cov := p.GoodsCoverage()
+		return cov >= 0 && cov <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRarefaction(t *testing.T) {
+	p := profileOf(50, 30, 20)
+	points, err := p.Rarefaction([]int{0, 10, 100, 1000}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points %d", len(points))
+	}
+	if points[0].OTUs != 0 {
+		t.Fatalf("depth 0 OTUs %v", points[0].OTUs)
+	}
+	// Full depth sees every OTU; overdeep depths clamp.
+	if points[2].OTUs != 3 || points[3].Depth != 100 {
+		t.Fatalf("full depth point %+v / %+v", points[2], points[3])
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(points); i++ {
+		if points[i].OTUs < points[i-1].OTUs-1e-9 {
+			t.Fatalf("rarefaction not monotone: %+v", points)
+		}
+	}
+}
+
+func TestRarefactionValidation(t *testing.T) {
+	p := profileOf(2, 2)
+	if _, err := p.Rarefaction([]int{1}, 0, 1); err == nil {
+		t.Fatal("0 trials accepted")
+	}
+	if _, err := p.Rarefaction([]int{-1}, 1, 1); err == nil {
+		t.Fatal("negative depth accepted")
+	}
+}
+
+func TestRarefactionDeterministic(t *testing.T) {
+	p := profileOf(20, 10, 5, 1)
+	a, _ := p.Rarefaction([]int{5, 15}, 20, 7)
+	b, _ := p.Rarefaction([]int{5, 15}, 20, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("rarefaction not deterministic")
+		}
+	}
+}
+
+func TestReport(t *testing.T) {
+	r := profileOf(10, 5, 1).Report()
+	for _, frag := range []string{"OTUs (observed): 3", "Chao1", "Shannon", "coverage"} {
+		if !strings.Contains(r, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, r)
+		}
+	}
+}
+
+func TestOTUTable(t *testing.T) {
+	p := NewProfile(metrics.Clustering{5, 5, 5, 9})
+	table := p.OTUTable(map[int]int{5: 0, 9: 3}, map[int]string{5: "Bacillus", 9: ""})
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines %d:\n%s", len(lines), table)
+	}
+	if !strings.HasPrefix(lines[0], "#OTU") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "5\t3\t0.7500\t0\tBacillus") {
+		t.Fatalf("row %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "9\t1\t0.2500\t3") {
+		t.Fatalf("row %q", lines[2])
+	}
+	// nil maps are fine.
+	if got := p.OTUTable(nil, nil); !strings.Contains(got, "5\t3") {
+		t.Fatalf("nil-map table:\n%s", got)
+	}
+}
+
+func TestProfileIDsAligned(t *testing.T) {
+	p := NewProfile(metrics.Clustering{7, 2, 7, 2, 2})
+	if len(p.IDs) != 2 || p.IDs[0] != 2 || p.IDs[1] != 7 {
+		t.Fatalf("IDs %v", p.IDs)
+	}
+	if p.Counts[0] != 3 || p.Counts[1] != 2 {
+		t.Fatalf("Counts %v", p.Counts)
+	}
+}

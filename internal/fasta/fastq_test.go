@@ -1,0 +1,186 @@
+package fasta
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleFastq = "@r1 first read\nACGT\n+\nIIII\n@r2\nTTAA\n+\n!!II\n"
+
+func TestFastqReaderBasics(t *testing.T) {
+	recs, err := ReadAllFastq(strings.NewReader(sampleFastq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	r := recs[0]
+	if r.ID != "r1" || r.Description != "first read" || string(r.Seq) != "ACGT" || string(r.Qual) != "IIII" {
+		t.Fatalf("record %+v", r)
+	}
+}
+
+func TestFastqReaderErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing @":       ">r1\nACGT\n+\nIIII\n",
+		"missing plus":    "@r1\nACGT\nIIII\nIIII\n",
+		"truncated":       "@r1\nACGT\n+\n",
+		"length mismatch": "@r1\nACGT\n+\nIII\n",
+		"invalid quality": "@r1\nACGT\n+\nII\tI\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadAllFastq(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestFastqReaderEOF(t *testing.T) {
+	fr := NewFastqReader(strings.NewReader(sampleFastq))
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("err %v, want io.EOF", err)
+	}
+}
+
+func TestFastqRoundTrip(t *testing.T) {
+	recs, err := ReadAllFastq(strings.NewReader(sampleFastq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFastq(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAllFastq(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || string(back[0].Qual) != "IIII" || back[0].Description != "first read" {
+		t.Fatalf("round trip %+v", back)
+	}
+}
+
+func TestWriteFastqValidates(t *testing.T) {
+	bad := []FastqRecord{{ID: "x", Seq: []byte("AC"), Qual: []byte("I")}}
+	if err := WriteFastq(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("invalid record written")
+	}
+}
+
+func TestPhredAndErrorProbability(t *testing.T) {
+	r := FastqRecord{ID: "x", Seq: []byte("AC"), Qual: []byte("I!")}
+	if r.PhredScore(0) != 40 || r.PhredScore(1) != 0 {
+		t.Fatalf("phred %d %d", r.PhredScore(0), r.PhredScore(1))
+	}
+	if p := r.ErrorProbability(0); math.Abs(p-1e-4) > 1e-9 {
+		t.Fatalf("p(0) = %v", p)
+	}
+	if p := r.ErrorProbability(1); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("p(1) = %v", p)
+	}
+	if ee := r.ExpectedErrors(); math.Abs(ee-1.0001) > 1e-3 {
+		t.Fatalf("expected errors %v", ee)
+	}
+}
+
+func TestTrimToQuality(t *testing.T) {
+	r := FastqRecord{ID: "x", Seq: []byte("ACGTACGT"), Qual: []byte("IIII!III")}
+	kept := r.TrimToQuality(20)
+	if kept != 4 || string(r.Seq) != "ACGT" || len(r.Qual) != 4 {
+		t.Fatalf("trim kept %d: %+v", kept, r)
+	}
+	// All high quality: untouched.
+	r2 := FastqRecord{ID: "y", Seq: []byte("AC"), Qual: []byte("II")}
+	if r2.TrimToQuality(20) != 2 {
+		t.Fatal("high-quality read trimmed")
+	}
+	// First base low: trimmed to zero.
+	r3 := FastqRecord{ID: "z", Seq: []byte("AC"), Qual: []byte("!I")}
+	if r3.TrimToQuality(20) != 0 || len(r3.Seq) != 0 {
+		t.Fatal("low-quality read not emptied")
+	}
+}
+
+func TestFastqRecordConversion(t *testing.T) {
+	fq := []FastqRecord{{ID: "a", Description: "d", Seq: []byte("ACGT"), Qual: []byte("IIII")}}
+	recs := FastqToRecords(fq)
+	if len(recs) != 1 || recs[0].ID != "a" || string(recs[0].Seq) != "ACGT" {
+		t.Fatalf("converted %+v", recs)
+	}
+}
+
+func TestReadSequencesFileDispatch(t *testing.T) {
+	dir := t.TempDir()
+	fastaPath := filepath.Join(dir, "reads.fa")
+	if err := WriteFile(fastaPath, []Record{{ID: "f", Seq: []byte("ACGT")}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadSequencesFile(fastaPath)
+	if err != nil || len(recs) != 1 || recs[0].ID != "f" {
+		t.Fatalf("fasta dispatch: %v %v", recs, err)
+	}
+
+	fastqPath := filepath.Join(dir, "reads.fq")
+	if err := writeStringFile(fastqPath, sampleFastq); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = ReadSequencesFile(fastqPath)
+	if err != nil || len(recs) != 2 || recs[0].ID != "r1" {
+		t.Fatalf("fastq dispatch: %v %v", recs, err)
+	}
+
+	junkPath := filepath.Join(dir, "junk.txt")
+	if err := writeStringFile(junkPath, "not sequences"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSequencesFile(junkPath); err == nil {
+		t.Fatal("junk accepted")
+	}
+	emptyPath := filepath.Join(dir, "empty")
+	if err := writeStringFile(emptyPath, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSequencesFile(emptyPath); err == nil {
+		t.Fatal("empty file accepted")
+	}
+	if _, err := ReadSequencesFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadFastqFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.fq")
+	if err := writeStringFile(path, sampleFastq); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadFastqFile(path)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("recs %v err %v", recs, err)
+	}
+	if _, err := ReadFastqFile(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// writeStringFile is a tiny test helper.
+func writeStringFile(path, content string) error {
+	return writeBytesFile(path, []byte(content))
+}
+
+// writeBytesFile writes a file for tests.
+func writeBytesFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

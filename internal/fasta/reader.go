@@ -1,0 +1,135 @@
+package fasta
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Reader parses FASTA records from an underlying stream. It tolerates
+// multi-line sequences, Windows line endings, leading blank lines and
+// ';'-style comment lines (an old FASTA convention).
+type Reader struct {
+	br   *bufio.Reader
+	line int
+	// pending holds the header line of the next record once the previous
+	// record's sequence has been fully consumed.
+	pending string
+	done    bool
+}
+
+// NewReader returns a Reader consuming FASTA text from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next record, or io.EOF when the stream is exhausted.
+func (fr *Reader) Next() (Record, error) {
+	header, err := fr.nextHeader()
+	if err != nil {
+		return Record{}, err
+	}
+	id, desc := splitHeader(header)
+	var seq bytes.Buffer
+	for {
+		line, err := fr.readLine()
+		if err == io.EOF {
+			fr.done = true
+			break
+		}
+		if err != nil {
+			return Record{}, err
+		}
+		if strings.HasPrefix(line, ">") {
+			fr.pending = line
+			break
+		}
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		seq.WriteString(line)
+	}
+	rec := Record{ID: id, Description: desc, Seq: seq.Bytes()}
+	if len(rec.Seq) == 0 {
+		return rec, fmt.Errorf("fasta: record %q near line %d has no sequence", id, fr.line)
+	}
+	return rec, nil
+}
+
+// nextHeader advances to the next '>' header line.
+func (fr *Reader) nextHeader() (string, error) {
+	if fr.pending != "" {
+		h := fr.pending
+		fr.pending = ""
+		return strings.TrimPrefix(h, ">"), nil
+	}
+	if fr.done {
+		return "", io.EOF
+	}
+	for {
+		line, err := fr.readLine()
+		if err != nil {
+			return "", err
+		}
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			return strings.TrimPrefix(line, ">"), nil
+		}
+		return "", fmt.Errorf("fasta: line %d: expected '>' header, got %.20q", fr.line, line)
+	}
+}
+
+// readLine returns the next line with trailing whitespace removed.
+func (fr *Reader) readLine() (string, error) {
+	line, err := fr.br.ReadString('\n')
+	if len(line) == 0 && err != nil {
+		return "", err
+	}
+	fr.line++
+	return strings.TrimRight(line, "\r\n \t"), nil
+}
+
+// splitHeader separates a header line into ID (first token) and description.
+func splitHeader(h string) (id, desc string) {
+	h = strings.TrimSpace(h)
+	if i := strings.IndexAny(h, " \t"); i >= 0 {
+		return h[:i], strings.TrimSpace(h[i+1:])
+	}
+	return h, ""
+}
+
+// ReadAll parses every record from r.
+func ReadAll(r io.Reader) ([]Record, error) {
+	fr := NewReader(r)
+	var recs []Record
+	for {
+		rec, err := fr.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// ReadFile parses every record from the named file.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAll(f)
+}
+
+// ParseString parses records from an in-memory FASTA string.
+func ParseString(s string) ([]Record, error) {
+	return ReadAll(strings.NewReader(s))
+}

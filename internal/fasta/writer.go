@@ -1,0 +1,80 @@
+package fasta
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// Writer emits FASTA records, wrapping sequence lines at a configurable
+// column width (the conventional 70/80 columns; 0 disables wrapping).
+type Writer struct {
+	bw    *bufio.Writer
+	Width int
+}
+
+// NewWriter returns a Writer targeting w with 70-column wrapping.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16), Width: 70}
+}
+
+// Write emits one record.
+func (fw *Writer) Write(rec Record) error {
+	if err := fw.bw.WriteByte('>'); err != nil {
+		return err
+	}
+	if _, err := fw.bw.WriteString(rec.Header()); err != nil {
+		return err
+	}
+	if err := fw.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	seq := rec.Seq
+	if fw.Width <= 0 {
+		if _, err := fw.bw.Write(seq); err != nil {
+			return err
+		}
+		return fw.bw.WriteByte('\n')
+	}
+	for len(seq) > 0 {
+		n := fw.Width
+		if n > len(seq) {
+			n = len(seq)
+		}
+		if _, err := fw.bw.Write(seq[:n]); err != nil {
+			return err
+		}
+		if err := fw.bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		seq = seq[n:]
+	}
+	return nil
+}
+
+// Flush writes buffered output to the underlying stream.
+func (fw *Writer) Flush() error { return fw.bw.Flush() }
+
+// WriteAll emits all records to w and flushes.
+func WriteAll(w io.Writer, recs []Record) error {
+	fw := NewWriter(w)
+	for i := range recs {
+		if err := fw.Write(recs[i]); err != nil {
+			return err
+		}
+	}
+	return fw.Flush()
+}
+
+// WriteFile writes all records to the named file, creating or truncating it.
+func WriteFile(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteAll(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,300 @@
+package kmer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewExtractorBounds(t *testing.T) {
+	if _, err := NewExtractor(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := NewExtractor(32); err == nil {
+		t.Error("k=32 should fail")
+	}
+	if _, err := NewExtractor(31); err != nil {
+		t.Errorf("k=31 should succeed: %v", err)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	seqs := []string{"A", "ACGT", "TTTTTTTT", "GATTACA", "ACGTACGTACGTACGTACGTACGTACGTACG"}
+	for _, s := range seqs {
+		v, err := Pack([]byte(s))
+		if err != nil {
+			t.Fatalf("Pack(%q): %v", s, err)
+		}
+		if got := string(Unpack(v, len(s))); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	if _, err := Pack([]byte("")); err == nil {
+		t.Error("empty pack should fail")
+	}
+	if _, err := Pack([]byte("ACGN")); err == nil {
+		t.Error("ambiguous pack should fail")
+	}
+	if _, err := Pack(make([]byte, 32)); err == nil {
+		t.Error("len 32 pack should fail")
+	}
+}
+
+func TestSliceOrderAndValues(t *testing.T) {
+	e := MustExtractor(3)
+	got := e.Slice([]byte("ACGTA"))
+	want := []string{"ACG", "CGT", "GTA"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d kmers, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if string(Unpack(got[i], 3)) != w {
+			t.Errorf("kmer %d = %s, want %s", i, Unpack(got[i], 3), w)
+		}
+	}
+}
+
+func TestAmbiguousBasesBreakWindows(t *testing.T) {
+	e := MustExtractor(3)
+	got := e.Slice([]byte("ACNGTA"))
+	// windows: ACN, CNG, NGT all contain N -> only GTA remains
+	if len(got) != 1 || string(Unpack(got[0], 3)) != "GTA" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestShortSequenceYieldsEmpty(t *testing.T) {
+	e := MustExtractor(5)
+	if got := e.Slice([]byte("ACGT")); len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+	if got := e.Set([]byte("ACGT")); got.Len() != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+}
+
+func TestSetDeduplicates(t *testing.T) {
+	e := MustExtractor(2)
+	s := e.Set([]byte("AAAA")) // AA three times
+	if s.Len() != 1 {
+		t.Fatalf("set size %d, want 1", s.Len())
+	}
+}
+
+func TestCanonicalMatchesReverseComplement(t *testing.T) {
+	e := &Extractor{K: 5, Canonical: true}
+	fwd := e.Set([]byte("ACGTACGGTTCA"))
+	rc := e.Set([]byte("TGAACCGTACGT")) // reverse complement of the above
+	if Jaccard(fwd, rc) != 1 {
+		t.Fatalf("canonical sets differ: %v vs %v", fwd.Sorted(), rc.Sorted())
+	}
+}
+
+func TestRollingMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(12)
+		n := rng.Intn(100)
+		seq := make([]byte, n)
+		for i := range seq {
+			seq[i] = "ACGTN"[rng.Intn(5)] // occasionally ambiguous
+		}
+		e := MustExtractor(k)
+		got := e.Slice(seq)
+		var want []uint64
+		for i := 0; i+k <= n; i++ {
+			v, err := Pack(seq[i : i+k])
+			if err == nil {
+				want = append(want, v)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d seq=%q: got %d kmers, want %d", k, seq, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d seq=%q: kmer %d mismatch", k, seq, i)
+			}
+		}
+	}
+}
+
+func TestReverseComplementPacked(t *testing.T) {
+	v, _ := Pack([]byte("ACGGT"))
+	rc := ReverseComplement(v, 5)
+	if got := string(Unpack(rc, 5)); got != "ACCGT" {
+		t.Fatalf("rc = %q, want ACCGT", got)
+	}
+}
+
+func TestReverseComplementInvolution(t *testing.T) {
+	f := func(v uint64) bool {
+		km := v & (1<<40 - 1) // k=20
+		return ReverseComplement(ReverseComplement(km, 20), 20) == km
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeatureSpace(t *testing.T) {
+	if FeatureSpace(1) != 4 || FeatureSpace(5) != 1024 || FeatureSpace(10) != 1<<20 {
+		t.Fatal("FeatureSpace wrong")
+	}
+	if FeatureSpace(32) != ^uint64(0) {
+		t.Fatal("FeatureSpace should saturate")
+	}
+}
+
+func TestJaccardBasics(t *testing.T) {
+	a := FromSlice([]uint64{1, 2, 3, 4})
+	b := FromSlice([]uint64{3, 4, 5, 6})
+	if got := Jaccard(a, b); got != 2.0/6.0 {
+		t.Fatalf("Jaccard = %v, want 1/3", got)
+	}
+	if Jaccard(a, a) != 1 {
+		t.Fatal("self Jaccard should be 1")
+	}
+	if Jaccard(Set{}, Set{}) != 0 {
+		t.Fatal("empty Jaccard should be 0")
+	}
+	if Jaccard(a, Set{}) != 0 {
+		t.Fatal("disjoint-with-empty Jaccard should be 0")
+	}
+}
+
+func TestJaccardSymmetry(t *testing.T) {
+	f := func(xs, ys []uint64) bool {
+		a, b := FromSlice(xs), FromSlice(ys)
+		return Jaccard(a, b) == Jaccard(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccardRange(t *testing.T) {
+	f := func(xs, ys []uint64) bool {
+		j := Jaccard(FromSlice(xs), FromSlice(ys))
+		return j >= 0 && j <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectionUnion(t *testing.T) {
+	a := FromSlice([]uint64{1, 2, 3})
+	b := FromSlice([]uint64{2, 3, 4})
+	if got := Intersection(a, b); got.Len() != 2 || !got.Contains(2) || !got.Contains(3) {
+		t.Fatalf("Intersection = %v", got.Sorted())
+	}
+	if got := Union(a, b); got.Len() != 4 {
+		t.Fatalf("Union = %v", got.Sorted())
+	}
+}
+
+func TestSortedIsSorted(t *testing.T) {
+	s := FromSlice([]uint64{9, 1, 5, 3})
+	got := s.Sorted()
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+}
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter(2)
+	c.Observe([]byte("AAAA"), MustExtractor(2)) // AA x3
+	if c.Total() != 3 || c.Distinct() != 1 {
+		t.Fatalf("total=%d distinct=%d", c.Total(), c.Distinct())
+	}
+	aa, _ := Pack([]byte("AA"))
+	if c.Count(aa) != 3 || c.Frequency(aa) != 1 {
+		t.Fatalf("count=%d freq=%v", c.Count(aa), c.Frequency(aa))
+	}
+}
+
+func TestFrequencyVector(t *testing.T) {
+	v := FrequencyVector([]byte("ACGT"), 1)
+	for i := 0; i < 4; i++ {
+		if v[i] != 0.25 {
+			t.Fatalf("v=%v", v)
+		}
+	}
+	sum := 0.0
+	for _, x := range FrequencyVector([]byte("ACGTACGGTT"), 2) {
+		sum += x
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("frequencies sum to %v", sum)
+	}
+}
+
+func TestFrequencyVectorPanicsForLargeK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > 8")
+		}
+	}()
+	c := NewCounter(9)
+	c.FrequencyVector()
+}
+
+func TestRanks(t *testing.T) {
+	r := Ranks([]float64{10, 20, 20, 5})
+	want := []float64{2, 3.5, 3.5, 1}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestSpearmanDistance(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if d := SpearmanDistance(a, a); d > 1e-12 {
+		t.Fatalf("self distance %v", d)
+	}
+	rev := []float64{4, 3, 2, 1}
+	if d := SpearmanDistance(a, rev); d < 1.99 || d > 2.01 {
+		t.Fatalf("reversed distance %v, want 2", d)
+	}
+	flat := []float64{1, 1, 1, 1}
+	if d := SpearmanDistance(a, flat); d != 1 {
+		t.Fatalf("constant distance %v, want 1", d)
+	}
+}
+
+func TestWordDistance(t *testing.T) {
+	e := MustExtractor(3)
+	c1, c2 := NewCounter(3), NewCounter(3)
+	s1 := []byte("ACGTACGT")
+	c1.Observe(s1, e)
+	c2.Observe(s1, e)
+	if d := WordDistance(c1, c2, len(s1), len(s1)); d != 0 {
+		t.Fatalf("identical word distance %v", d)
+	}
+	c3 := NewCounter(3)
+	c3.Observe([]byte("TTTTTTTT"), e)
+	if d := WordDistance(c1, c3, 8, 8); d != 1 {
+		t.Fatalf("disjoint word distance %v", d)
+	}
+}
+
+func BenchmarkExtractSet(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	seq := make([]byte, 1000)
+	for i := range seq {
+		seq[i] = "ACGT"[rng.Intn(4)]
+	}
+	e := MustExtractor(15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Set(seq)
+	}
+}

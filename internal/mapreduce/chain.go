@@ -1,0 +1,87 @@
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+)
+
+// Chain runs a sequence of dependent jobs: each stage receives the
+// previous stage's output records as its input (Pig compiles linear
+// scripts to exactly such chains). Virtual time and counters accumulate
+// across stages.
+type Chain struct {
+	engine *Engine
+	// stages are applied in order.
+	stages []ChainStage
+}
+
+// ChainStage builds the next job from the records flowing into it. The
+// Job's Input field is overridden by the chain.
+type ChainStage struct {
+	Name string
+	// SplitSize chunks the incoming records (0 = one split per 2 waves).
+	SplitSize int
+	// Build receives the stage input and returns the job to run. The
+	// returned job's Input is set by the chain.
+	Build func(input []KeyValue) (*Job, error)
+}
+
+// NewChain returns a chain executing on the engine.
+func NewChain(engine *Engine) *Chain {
+	return &Chain{engine: engine}
+}
+
+// Then appends a stage.
+func (c *Chain) Then(stage ChainStage) *Chain {
+	c.stages = append(c.stages, stage)
+	return c
+}
+
+// ChainResult is the outcome of a chain run.
+type ChainResult struct {
+	// Output is the final stage's output.
+	Output []KeyValue
+	// Virtual sums the modelled time of every stage.
+	Virtual time.Duration
+	// Stages holds each stage's individual result.
+	Stages []*Result
+}
+
+// Run feeds initial through every stage.
+func (c *Chain) Run(initial []KeyValue) (*ChainResult, error) {
+	if len(c.stages) == 0 {
+		return nil, fmt.Errorf("mapreduce: chain has no stages")
+	}
+	res := &ChainResult{}
+	records := initial
+	for i, stage := range c.stages {
+		if stage.Build == nil {
+			return nil, fmt.Errorf("mapreduce: chain stage %d (%s) has no builder", i, stage.Name)
+		}
+		job, err := stage.Build(records)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: chain stage %d (%s): %w", i, stage.Name, err)
+		}
+		split := stage.SplitSize
+		if split <= 0 {
+			waves := 2 * c.engine.Cluster.TotalSlots()
+			split = (len(records) + waves - 1) / waves
+			if split < 1 {
+				split = 1
+			}
+		}
+		job.Input = MemoryInput{Records: records, SplitSize: split}
+		if job.Name == "" {
+			job.Name = stage.Name
+		}
+		stageRes, err := c.engine.Run(job)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: chain stage %d (%s): %w", i, stage.Name, err)
+		}
+		res.Stages = append(res.Stages, stageRes)
+		res.Virtual += stageRes.Virtual
+		records = stageRes.Output
+	}
+	res.Output = records
+	return res, nil
+}

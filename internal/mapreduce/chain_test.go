@@ -1,0 +1,119 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestChainTwoStages(t *testing.T) {
+	e := MustEngine(DefaultCluster)
+	lines := []KeyValue{
+		{Key: "0", Value: "a b a"},
+		{Key: "1", Value: "b c"},
+	}
+	chain := NewChain(e).
+		Then(ChainStage{
+			Name: "split",
+			Build: func(_ []KeyValue) (*Job, error) {
+				return &Job{
+					Map: func(kv KeyValue, emit func(KeyValue)) error {
+						for _, w := range strings.Fields(kv.Value.(string)) {
+							emit(KeyValue{Key: w, Value: 1})
+						}
+						return nil
+					},
+					Reduce: func(k string, vs []any, emit func(KeyValue)) error {
+						emit(KeyValue{Key: k, Value: len(vs)})
+						return nil
+					},
+					NumReducers: 2,
+				}, nil
+			},
+		}).
+		Then(ChainStage{
+			Name: "filter-heavy",
+			Build: func(_ []KeyValue) (*Job, error) {
+				return &Job{
+					Map: func(kv KeyValue, emit func(KeyValue)) error {
+						if kv.Value.(int) >= 2 {
+							emit(kv)
+						}
+						return nil
+					},
+				}, nil
+			},
+		})
+	res, err := chain.Run(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, kv := range res.Output {
+		counts[kv.Key] = kv.Value.(int)
+	}
+	if len(counts) != 2 || counts["a"] != 2 || counts["b"] != 2 {
+		t.Fatalf("chain output %v", counts)
+	}
+	if len(res.Stages) != 2 {
+		t.Fatalf("stages %d", len(res.Stages))
+	}
+	if res.Virtual != res.Stages[0].Virtual+res.Stages[1].Virtual {
+		t.Fatal("virtual time does not accumulate")
+	}
+}
+
+func TestChainStageCanInspectInput(t *testing.T) {
+	e := MustEngine(DefaultCluster)
+	chain := NewChain(e).Then(ChainStage{
+		Name: "adaptive",
+		Build: func(input []KeyValue) (*Job, error) {
+			n := len(input)
+			return &Job{
+				Map: func(kv KeyValue, emit func(KeyValue)) error {
+					emit(KeyValue{Key: kv.Key, Value: n})
+					return nil
+				},
+			}, nil
+		},
+	})
+	res, err := chain.Run([]KeyValue{{Key: "a"}, {Key: "b"}, {Key: "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 3 || res.Output[0].Value.(int) != 3 {
+		t.Fatalf("output %v", res.Output)
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	e := MustEngine(DefaultCluster)
+	if _, err := NewChain(e).Run(nil); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	if _, err := NewChain(e).Then(ChainStage{Name: "nil-builder"}).Run(nil); err == nil {
+		t.Fatal("nil builder accepted")
+	}
+	failing := NewChain(e).Then(ChainStage{
+		Name:  "bad",
+		Build: func([]KeyValue) (*Job, error) { return nil, fmt.Errorf("boom") },
+	})
+	if _, err := failing.Run(nil); err == nil {
+		t.Fatal("builder error swallowed")
+	}
+}
+
+func TestChainStageJobErrorPropagates(t *testing.T) {
+	e := MustEngine(DefaultCluster)
+	chain := NewChain(e).Then(ChainStage{
+		Name: "failing-job",
+		Build: func([]KeyValue) (*Job, error) {
+			return &Job{
+				Map: func(KeyValue, func(KeyValue)) error { return fmt.Errorf("map exploded") },
+			}, nil
+		},
+	})
+	if _, err := chain.Run([]KeyValue{{Key: "x"}}); err == nil {
+		t.Fatal("job error swallowed")
+	}
+}

@@ -1,0 +1,190 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// CostModel parameterizes the virtual clock. Values are loosely calibrated
+// to the paper's Amazon EMR M1 Large deployment so that modelled runtimes
+// land in the same minutes-scale regime as Figure 2 and Table III.
+type CostModel struct {
+	// JobStartup is the fixed per-job overhead (JVM spin-up, scheduling).
+	JobStartup time.Duration
+	// TaskStartup is the fixed per-task overhead.
+	TaskStartup time.Duration
+	// MapPerRecord is the modelled cost to map one record.
+	MapPerRecord time.Duration
+	// ReducePerRecord is the modelled cost to reduce one value.
+	ReducePerRecord time.Duration
+	// ShufflePerByte is the modelled network cost to move one byte of
+	// intermediate data between nodes.
+	ShufflePerByte time.Duration
+	// RemoteReadPenalty multiplies a map task's input cost when its split
+	// is not local to the node it runs on (1.0 = free).
+	RemoteReadPenalty float64
+	// StragglerFraction is the share of tasks that run slow (failing
+	// disks, hot neighbors — the tail Hadoop's speculative execution
+	// exists for). 0 disables stragglers.
+	StragglerFraction float64
+	// StragglerSlowdown multiplies a straggler's duration (≥ 1).
+	StragglerSlowdown float64
+}
+
+// DefaultCostModel approximates the paper's EMR environment.
+var DefaultCostModel = CostModel{
+	JobStartup:        20 * time.Second,
+	TaskStartup:       3 * time.Second,
+	MapPerRecord:      200 * time.Microsecond,
+	ReducePerRecord:   150 * time.Microsecond,
+	ShufflePerByte:    10 * time.Nanosecond,
+	RemoteReadPenalty: 1.3,
+}
+
+// Cluster describes the simulated deployment.
+type Cluster struct {
+	// Nodes is the machine count (the paper varies 2..12).
+	Nodes int
+	// SlotsPerNode is how many concurrent tasks one machine runs
+	// (Hadoop's map/reduce slots; M1 Large ≈ 2).
+	SlotsPerNode int
+	Cost         CostModel
+	// Speculative enables Hadoop-style speculative execution in the
+	// runtime model: when a straggler task is detected, a backup copy
+	// launches on a free slot and the task finishes at the earlier of the
+	// two attempts.
+	Speculative bool
+}
+
+// DefaultCluster mirrors the paper's 8-node evaluation deployment.
+var DefaultCluster = Cluster{Nodes: 8, SlotsPerNode: 2, Cost: DefaultCostModel}
+
+// Validate rejects degenerate clusters.
+func (c Cluster) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("mapreduce: cluster needs at least one node, got %d", c.Nodes)
+	}
+	if c.SlotsPerNode < 1 {
+		return fmt.Errorf("mapreduce: cluster needs at least one slot per node, got %d", c.SlotsPerNode)
+	}
+	return nil
+}
+
+// TotalSlots returns the cluster-wide concurrent task capacity.
+func (c Cluster) TotalSlots() int { return c.Nodes * c.SlotsPerNode }
+
+// TaskCost is the modelled duration of one task.
+type TaskCost struct {
+	Duration time.Duration
+	// PreferredHosts biases placement (data locality); may be empty.
+	PreferredHosts []int
+}
+
+// Makespan schedules task costs onto the cluster's slots greedily (each
+// task goes to the slot that frees up first, preferring slots on a host in
+// PreferredHosts when the choice is otherwise idle-equal) and returns the
+// finishing time of the last task. This is the virtual-clock analogue of
+// Hadoop's wave scheduling.
+func (c Cluster) Makespan(tasks []TaskCost) time.Duration {
+	if len(tasks) == 0 {
+		return 0
+	}
+	slots := make([]time.Duration, c.TotalSlots())
+	// Longest-processing-time order stabilizes the estimate across input
+	// permutations (Hadoop schedules pending tasks from a pool, so order
+	// is not meaningful anyway).
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return tasks[order[a]].Duration > tasks[order[b]].Duration
+	})
+	var makespan time.Duration
+	for _, ti := range order {
+		t := tasks[ti]
+		d := c.effectiveDuration(ti, t.Duration)
+		// Earliest-available slot; ties broken toward preferred hosts.
+		best := 0
+		for s := 1; s < len(slots); s++ {
+			if slots[s] < slots[best] {
+				best = s
+			} else if slots[s] == slots[best] && c.slotPreferred(s, t.PreferredHosts) && !c.slotPreferred(best, t.PreferredHosts) {
+				best = s
+			}
+		}
+		slots[best] += d
+		if slots[best] > makespan {
+			makespan = slots[best]
+		}
+	}
+	return makespan
+}
+
+// effectiveDuration applies the straggler model to task ti. Stragglers
+// are chosen deterministically by index hash; with speculative execution
+// a backup attempt caps the penalty at one extra task startup plus the
+// nominal duration (the backup reruns from scratch once the original is
+// flagged slow).
+func (c Cluster) effectiveDuration(ti int, d time.Duration) time.Duration {
+	frac := c.Cost.StragglerFraction
+	if frac <= 0 || c.Cost.StragglerSlowdown <= 1 {
+		return d
+	}
+	if !isStraggler(ti, frac) {
+		return d
+	}
+	slow := time.Duration(float64(d) * c.Cost.StragglerSlowdown)
+	if !c.Speculative {
+		return slow
+	}
+	backup := d + c.Cost.TaskStartup + d // detection after ~1 nominal duration, then a fresh attempt
+	if backup < slow {
+		return backup
+	}
+	return slow
+}
+
+// isStraggler deterministically marks ~frac of task indices.
+func isStraggler(ti int, frac float64) bool {
+	// SplitMix64-style scramble for a uniform pick independent of index
+	// locality.
+	x := uint64(ti) + 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x%10000) < frac*10000
+}
+
+// slotPreferred reports whether slot s lives on one of the hosts.
+func (c Cluster) slotPreferred(s int, hosts []int) bool {
+	node := s / c.SlotsPerNode
+	for _, h := range hosts {
+		if h%c.Nodes == node {
+			return true
+		}
+	}
+	return false
+}
+
+// mapTaskCost models one map task over a split.
+func (c Cluster) mapTaskCost(split InputSplit, factor float64) TaskCost {
+	if factor <= 0 {
+		factor = 1
+	}
+	d := c.Cost.TaskStartup +
+		time.Duration(float64(len(split.Records))*factor*float64(c.Cost.MapPerRecord))
+	return TaskCost{Duration: d, PreferredHosts: split.Hosts}
+}
+
+// reduceTaskCost models one reduce task over a partition.
+func (c Cluster) reduceTaskCost(values int, shuffleBytes int, factor float64) TaskCost {
+	if factor <= 0 {
+		factor = 1
+	}
+	d := c.Cost.TaskStartup +
+		time.Duration(float64(values)*factor*float64(c.Cost.ReducePerRecord)) +
+		time.Duration(float64(shuffleBytes)*float64(c.Cost.ShufflePerByte))
+	return TaskCost{Duration: d}
+}

@@ -1,0 +1,66 @@
+package mapreduce
+
+import (
+	"sort"
+	"sync"
+)
+
+// Counters collects named job statistics, Hadoop-style.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]int64)}
+}
+
+// Add increments counter name by delta.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the value of counter name.
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Names returns the defined counter names, sorted.
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot copies all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Built-in counter names maintained by the engine.
+const (
+	CounterMapInputRecords    = "map.input.records"
+	CounterMapOutputRecords   = "map.output.records"
+	CounterCombineInput       = "combine.input.records"
+	CounterCombineOutput      = "combine.output.records"
+	CounterReduceInputGroups  = "reduce.input.groups"
+	CounterReduceInputRecords = "reduce.input.records"
+	CounterReduceOutput       = "reduce.output.records"
+	CounterShuffleBytes       = "shuffle.bytes"
+)

@@ -1,0 +1,73 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/metagenomics/mrmcminh/internal/dfs"
+)
+
+// DFSLineInput reads a line-record file from the simulated DFS, producing
+// one split per block (Hadoop TextInputFormat). Each record's key is the
+// line number within the file (as decimal text) and the value is the line.
+type DFSLineInput struct {
+	FS   *dfs.FileSystem
+	Path string
+}
+
+// Splits implements InputSource.
+func (d DFSLineInput) Splits() ([]InputSplit, error) {
+	raw, err := d.FS.LineSplits(d.Path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]InputSplit, 0, len(raw))
+	lineNo := 0
+	for _, sp := range raw {
+		recs := make([]KeyValue, 0, len(sp.Records))
+		bytes := 0
+		for _, line := range sp.Records {
+			recs = append(recs, KeyValue{Key: fmt.Sprint(lineNo), Value: line})
+			lineNo++
+			bytes += len(line) + 1
+		}
+		out = append(out, InputSplit{Records: recs, Hosts: sp.Hosts, Bytes: bytes})
+	}
+	return out, nil
+}
+
+// WriteOutput stores a job's output records to the DFS as Hadoop-style
+// part files under dir, one per reduce partition's worth of records
+// (here: chunks of chunkSize records; 0 = single part). Records render as
+// "key\tvalue" lines.
+func WriteOutput(fs *dfs.FileSystem, dir string, records []KeyValue, chunkSize int) error {
+	if chunkSize <= 0 {
+		chunkSize = len(records)
+		if chunkSize == 0 {
+			chunkSize = 1
+		}
+	}
+	part := 0
+	for off := 0; off < len(records) || (off == 0 && len(records) == 0); off += chunkSize {
+		end := off + chunkSize
+		if end > len(records) {
+			end = len(records)
+		}
+		var sb strings.Builder
+		for _, kv := range records[off:end] {
+			sb.WriteString(kv.Key)
+			sb.WriteByte('\t')
+			fmt.Fprint(&sb, kv.Value)
+			sb.WriteByte('\n')
+		}
+		path := fmt.Sprintf("%s/part-%05d", strings.TrimSuffix(dir, "/"), part)
+		if err := fs.WriteFile(path, []byte(sb.String())); err != nil {
+			return err
+		}
+		part++
+		if len(records) == 0 {
+			break
+		}
+	}
+	return nil
+}

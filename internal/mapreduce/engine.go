@@ -1,0 +1,274 @@
+package mapreduce
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Result is the outcome of one job.
+type Result struct {
+	// Output holds the job's records. For jobs with a reducer the records
+	// are grouped by partition and sorted by key within each partition
+	// (Hadoop part-file order); for map-only jobs they follow input order.
+	Output []KeyValue
+	// Counters are the engine and user counters.
+	Counters *Counters
+	// Virtual is the modelled wall time on the simulated cluster.
+	Virtual time.Duration
+	// Real is the measured execution time on this machine.
+	Real       time.Duration
+	MapTasks   int
+	ReduceTask int
+}
+
+// Engine executes jobs on a simulated cluster.
+type Engine struct {
+	Cluster Cluster
+	// Workers caps real goroutine parallelism; 0 means
+	// min(GOMAXPROCS, cluster slots).
+	Workers int
+}
+
+// NewEngine returns an engine for the cluster.
+func NewEngine(c Cluster) (*Engine, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{Cluster: c}, nil
+}
+
+// MustEngine is NewEngine panicking on error.
+func MustEngine(c Cluster) *Engine {
+	e, err := NewEngine(c)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// workerCount resolves the real parallelism.
+func (e *Engine) workerCount() int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if s := e.Cluster.TotalSlots(); s < w {
+			w = s
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes the job and returns its result.
+func (e *Engine) Run(job *Job) (*Result, error) {
+	start := time.Now()
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	splits, err := job.Input.Splits()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q input: %w", job.Name, err)
+	}
+	counters := NewCounters()
+	numRed := job.NumReducers
+	if numRed <= 0 {
+		numRed = e.Cluster.Nodes
+	}
+	part := job.Partition
+	if part == nil {
+		part = DefaultPartition
+	}
+
+	// ----- Map phase -----
+	mapOuts := make([][]KeyValue, len(splits)) // per map task output
+	var mapCosts []TaskCost
+	for _, sp := range splits {
+		mapCosts = append(mapCosts, e.Cluster.mapTaskCost(sp, job.MapCostFactor))
+	}
+	if err := e.parallel(len(splits), func(ti int) error {
+		sp := splits[ti]
+		var out []KeyValue
+		emit := func(kv KeyValue) { out = append(out, kv) }
+		for _, kv := range sp.Records {
+			if err := job.Map(kv, emit); err != nil {
+				return fmt.Errorf("mapreduce: job %q map task %d: %w", job.Name, ti, err)
+			}
+		}
+		counters.Add(CounterMapInputRecords, int64(len(sp.Records)))
+		counters.Add(CounterMapOutputRecords, int64(len(out)))
+		if job.Combine != nil {
+			combined, err := e.combine(job, out, counters)
+			if err != nil {
+				return err
+			}
+			out = combined
+		}
+		mapOuts[ti] = out
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Map-only job: concatenate map outputs in input order.
+	if job.Reduce == nil {
+		var output []KeyValue
+		for _, out := range mapOuts {
+			output = append(output, out...)
+		}
+		res := &Result{
+			Output:   output,
+			Counters: counters,
+			Virtual:  e.Cluster.Cost.JobStartup + e.Cluster.Makespan(mapCosts),
+			Real:     time.Since(start),
+			MapTasks: len(splits),
+		}
+		return res, nil
+	}
+
+	// ----- Shuffle: partition, then sort each partition by key -----
+	partitions := make([][]KeyValue, numRed)
+	shuffleBytes := make([]int, numRed)
+	for _, out := range mapOuts {
+		for _, kv := range out {
+			p := part(kv.Key, numRed)
+			if p < 0 || p >= numRed {
+				return nil, fmt.Errorf("mapreduce: job %q partitioner returned %d of %d", job.Name, p, numRed)
+			}
+			partitions[p] = append(partitions[p], kv)
+			shuffleBytes[p] += len(kv.Key) + approxValueBytes(kv.Value)
+		}
+	}
+	for _, b := range shuffleBytes {
+		counters.Add(CounterShuffleBytes, int64(b))
+	}
+
+	// ----- Reduce phase -----
+	reduceOuts := make([][]KeyValue, numRed)
+	var reduceCosts []TaskCost
+	for p := range partitions {
+		reduceCosts = append(reduceCosts, e.Cluster.reduceTaskCost(len(partitions[p]), shuffleBytes[p], job.ReduceCostFactor))
+	}
+	if err := e.parallel(numRed, func(p int) error {
+		recs := partitions[p]
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+		var out []KeyValue
+		emit := func(kv KeyValue) { out = append(out, kv) }
+		for i := 0; i < len(recs); {
+			j := i
+			for j < len(recs) && recs[j].Key == recs[i].Key {
+				j++
+			}
+			values := make([]any, 0, j-i)
+			for t := i; t < j; t++ {
+				values = append(values, recs[t].Value)
+			}
+			if err := job.Reduce(recs[i].Key, values, emit); err != nil {
+				return fmt.Errorf("mapreduce: job %q reduce partition %d key %q: %w", job.Name, p, recs[i].Key, err)
+			}
+			counters.Add(CounterReduceInputGroups, 1)
+			counters.Add(CounterReduceInputRecords, int64(j-i))
+			i = j
+		}
+		counters.Add(CounterReduceOutput, int64(len(out)))
+		reduceOuts[p] = out
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var output []KeyValue
+	for _, out := range reduceOuts {
+		output = append(output, out...)
+	}
+	res := &Result{
+		Output:     output,
+		Counters:   counters,
+		Virtual:    e.Cluster.Cost.JobStartup + e.Cluster.Makespan(mapCosts) + e.Cluster.Makespan(reduceCosts),
+		Real:       time.Since(start),
+		MapTasks:   len(splits),
+		ReduceTask: numRed,
+	}
+	return res, nil
+}
+
+// combine applies the combiner to one map task's output.
+func (e *Engine) combine(job *Job, out []KeyValue, counters *Counters) ([]KeyValue, error) {
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	var combined []KeyValue
+	emit := func(kv KeyValue) { combined = append(combined, kv) }
+	for i := 0; i < len(out); {
+		j := i
+		for j < len(out) && out[j].Key == out[i].Key {
+			j++
+		}
+		values := make([]any, 0, j-i)
+		for t := i; t < j; t++ {
+			values = append(values, out[t].Value)
+		}
+		if err := job.Combine(out[i].Key, values, emit); err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q combine key %q: %w", job.Name, out[i].Key, err)
+		}
+		i = j
+	}
+	counters.Add(CounterCombineInput, int64(len(out)))
+	counters.Add(CounterCombineOutput, int64(len(combined)))
+	return combined, nil
+}
+
+// parallel runs fn(0..n-1) on the engine's worker pool, stopping at the
+// first error.
+func (e *Engine) parallel(n int, fn func(int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := e.workerCount()
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+		next  int
+	)
+	grab := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if first != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := grab()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

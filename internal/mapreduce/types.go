@@ -1,0 +1,148 @@
+// Package mapreduce is a Hadoop-style MapReduce engine executing on a
+// *simulated cluster*: jobs run for real on goroutine worker pools, while a
+// virtual clock models how long the same work would take on N machines with
+// per-task startup, per-record compute and per-byte shuffle costs. The
+// paper runs its Pig pipelines as Hadoop jobs on Amazon EMR with 2–12
+// nodes; this engine supplies the same dataflow (input splits → map →
+// combine → partition → sort/shuffle → reduce → output) and the runtime
+// model behind the paper's Figure 2 scalability study.
+package mapreduce
+
+import "fmt"
+
+// KeyValue is one record flowing through a job.
+type KeyValue struct {
+	Key   string
+	Value any
+}
+
+// MapFunc transforms one input record into zero or more output records.
+type MapFunc func(kv KeyValue, emit func(KeyValue)) error
+
+// ReduceFunc folds all values sharing a key into zero or more records.
+// It is also the signature of combiners (mini-reducers run on map output).
+type ReduceFunc func(key string, values []any, emit func(KeyValue)) error
+
+// PartitionFunc routes a key to one of n reduce partitions.
+type PartitionFunc func(key string, n int) int
+
+// DefaultPartition hashes the key (FNV-1a) modulo n.
+func DefaultPartition(key string, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// InputSplit is one unit of map-task work.
+type InputSplit struct {
+	Records []KeyValue
+	// Hosts are the simulated nodes holding the split's data; the
+	// scheduler prefers running the map task there (data locality).
+	Hosts []int
+	// Bytes approximates the split's on-disk size for the cost model.
+	Bytes int
+}
+
+// InputSource yields input splits for a job.
+type InputSource interface {
+	Splits() ([]InputSplit, error)
+}
+
+// MemoryInput serves in-memory records chunked into equally sized splits.
+type MemoryInput struct {
+	Records   []KeyValue
+	SplitSize int // records per split; 0 means one split
+}
+
+// Splits chunks the records.
+func (m MemoryInput) Splits() ([]InputSplit, error) {
+	size := m.SplitSize
+	if size <= 0 {
+		size = len(m.Records)
+	}
+	if size == 0 {
+		size = 1
+	}
+	var splits []InputSplit
+	for off := 0; off < len(m.Records); off += size {
+		end := off + size
+		if end > len(m.Records) {
+			end = len(m.Records)
+		}
+		chunk := m.Records[off:end]
+		b := 0
+		for _, kv := range chunk {
+			b += len(kv.Key) + approxValueBytes(kv.Value)
+		}
+		splits = append(splits, InputSplit{Records: chunk, Bytes: b})
+	}
+	if len(splits) == 0 {
+		splits = []InputSplit{{}}
+	}
+	return splits, nil
+}
+
+// approxValueBytes estimates serialized size for the cost model.
+func approxValueBytes(v any) int {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case string:
+		return len(x)
+	case []byte:
+		return len(x)
+	case []uint64:
+		return 8 * len(x)
+	case []float64:
+		return 8 * len(x)
+	case int, int64, uint64, float64:
+		return 8
+	default:
+		return 16
+	}
+}
+
+// Validate rejects malformed jobs before execution.
+func (j *Job) Validate() error {
+	if j.Input == nil {
+		return fmt.Errorf("mapreduce: job %q has no input", j.Name)
+	}
+	if j.Map == nil {
+		return fmt.Errorf("mapreduce: job %q has no map function", j.Name)
+	}
+	if j.NumReducers < 0 {
+		return fmt.Errorf("mapreduce: job %q has negative reducer count", j.Name)
+	}
+	if j.Combine != nil && j.Reduce == nil {
+		return fmt.Errorf("mapreduce: job %q has a combiner but no reducer", j.Name)
+	}
+	return nil
+}
+
+// Job specifies one MapReduce computation.
+type Job struct {
+	Name  string
+	Input InputSource
+	Map   MapFunc
+	// Combine optionally pre-aggregates map output per task.
+	Combine ReduceFunc
+	// Reduce folds shuffled groups; nil makes the job map-only (map output
+	// is the job output, no shuffle).
+	Reduce ReduceFunc
+	// NumReducers defaults to the cluster node count.
+	NumReducers int
+	// Partition defaults to DefaultPartition.
+	Partition PartitionFunc
+	// MapCostFactor/ReduceCostFactor scale the modelled per-record compute
+	// cost of this job's tasks relative to the cost model baseline
+	// (1.0 when zero). Heavy UDFs (e.g. all-pairs similarity rows) set >1.
+	MapCostFactor    float64
+	ReduceCostFactor float64
+}

@@ -1,0 +1,182 @@
+// Package metrics implements the paper's external evaluation measures:
+// weighted cluster accuracy (W.Acc) against ground-truth taxonomy labels and
+// weighted intra-cluster global-alignment similarity (W.Sim).
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/metagenomics/mrmcminh/internal/align"
+)
+
+// Clustering is an assignment of N sequences to clusters. Values are
+// arbitrary non-negative cluster ids; -1 marks an unassigned sequence.
+type Clustering []int
+
+// NumClusters returns the number of distinct non-negative cluster ids.
+func (c Clustering) NumClusters() int {
+	seen := make(map[int]struct{})
+	for _, id := range c {
+		if id >= 0 {
+			seen[id] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Sizes returns cluster id -> member count.
+func (c Clustering) Sizes() map[int]int {
+	sizes := make(map[int]int)
+	for _, id := range c {
+		if id >= 0 {
+			sizes[id]++
+		}
+	}
+	return sizes
+}
+
+// Members returns cluster id -> member sequence indices (ascending).
+func (c Clustering) Members() map[int][]int {
+	m := make(map[int][]int)
+	for i, id := range c {
+		if id >= 0 {
+			m[id] = append(m[id], i)
+		}
+	}
+	return m
+}
+
+// NumClustersAtLeast counts clusters with at least minSize members. The
+// paper reports cluster counts "after applying threshold on number of
+// clusters", i.e. ignoring dust clusters.
+func (c Clustering) NumClustersAtLeast(minSize int) int {
+	n := 0
+	for _, size := range c.Sizes() {
+		if size >= minSize {
+			n++
+		}
+	}
+	return n
+}
+
+// WeightedAccuracy computes W.Acc: each cluster is designated the most
+// frequent ground-truth class among its members; the per-cluster accuracy
+// is the fraction of members carrying the designated class; the reported
+// value is the average across clusters weighted by cluster size, as a
+// percentage in [0,100].
+func WeightedAccuracy(c Clustering, truth []string) (float64, error) {
+	if len(c) != len(truth) {
+		return 0, fmt.Errorf("metrics: clustering has %d items but truth has %d", len(c), len(truth))
+	}
+	members := c.Members()
+	if len(members) == 0 {
+		return 0, nil
+	}
+	correct, total := 0, 0
+	for _, idx := range members {
+		counts := make(map[string]int)
+		for _, i := range idx {
+			counts[truth[i]]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+		total += len(idx)
+	}
+	return 100 * float64(correct) / float64(total), nil
+}
+
+// SimilarityOptions controls W.Sim evaluation.
+type SimilarityOptions struct {
+	// MinClusterSize excludes clusters with at most this many members from
+	// the score (the paper uses clusters with >50 sequences).
+	MinClusterSize int
+	// MaxPairsPerCluster caps the number of sampled pairs aligned per
+	// cluster (0 = all pairs). Exact all-pairs alignment is quadratic;
+	// like the paper's own runtime concessions we sample deterministically.
+	MaxPairsPerCluster int
+	// Seed drives pair sampling.
+	Seed int64
+	// Band enables banded global alignment with the given half-width
+	// (0 = full Needleman–Wunsch).
+	Band int
+}
+
+// DefaultSimilarityOptions mirrors the paper: clusters > 50 reads, sampled
+// pairs for tractability.
+var DefaultSimilarityOptions = SimilarityOptions{
+	MinClusterSize:     50,
+	MaxPairsPerCluster: 200,
+	Seed:               1,
+	Band:               32,
+}
+
+// WeightedSimilarity computes W.Sim: the average global-alignment identity
+// of (sampled) intra-cluster pairs, averaged across qualifying clusters
+// weighted by cluster size, as a percentage in [0,100]. The boolean result
+// reports whether any cluster qualified.
+func WeightedSimilarity(c Clustering, seqs [][]byte, opt SimilarityOptions) (float64, bool, error) {
+	if len(c) != len(seqs) {
+		return 0, false, fmt.Errorf("metrics: clustering has %d items but %d sequences given", len(c), len(seqs))
+	}
+	members := c.Members()
+	ids := make([]int, 0, len(members))
+	for id := range members {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // deterministic iteration
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	var weighted, weightSum float64
+	for _, id := range ids {
+		idx := members[id]
+		if len(idx) <= opt.MinClusterSize || len(idx) < 2 {
+			continue
+		}
+		sim := clusterSimilarity(idx, seqs, opt, rng)
+		weighted += sim * float64(len(idx))
+		weightSum += float64(len(idx))
+	}
+	if weightSum == 0 {
+		return 0, false, nil
+	}
+	return 100 * weighted / weightSum, true, nil
+}
+
+// clusterSimilarity averages pairwise identity within one cluster.
+func clusterSimilarity(idx []int, seqs [][]byte, opt SimilarityOptions, rng *rand.Rand) float64 {
+	n := len(idx)
+	totalPairs := n * (n - 1) / 2
+	alignPair := func(i, j int) float64 {
+		a, b := seqs[idx[i]], seqs[idx[j]]
+		if opt.Band > 0 {
+			return align.GlobalBanded(a, b, align.DefaultScoring, opt.Band).Identity()
+		}
+		return align.Global(a, b, align.DefaultScoring).Identity()
+	}
+	if opt.MaxPairsPerCluster <= 0 || totalPairs <= opt.MaxPairsPerCluster {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				sum += alignPair(i, j)
+			}
+		}
+		return sum / float64(totalPairs)
+	}
+	sum := 0.0
+	for p := 0; p < opt.MaxPairsPerCluster; p++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		sum += alignPair(i, j)
+	}
+	return sum / float64(opt.MaxPairsPerCluster)
+}

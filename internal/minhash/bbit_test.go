@@ -1,0 +1,166 @@
+package minhash
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/metagenomics/mrmcminh/internal/kmer"
+)
+
+func TestCompactValidation(t *testing.T) {
+	sig := Signature{1, 2, 3}
+	if _, err := Compact(sig, 0); err == nil {
+		t.Error("b=0 accepted")
+	}
+	if _, err := Compact(sig, 17); err == nil {
+		t.Error("b=17 accepted")
+	}
+	for _, b := range []int{1, 2, 8, 16} {
+		if _, err := Compact(sig, b); err != nil {
+			t.Errorf("b=%d rejected: %v", b, err)
+		}
+	}
+}
+
+func TestCompactSlotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, b := range []int{1, 3, 7, 11, 16} {
+		sig := make(Signature, 100)
+		for i := range sig {
+			sig[i] = rng.Uint64()
+		}
+		c, err := Compact(sig, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := uint64(1)<<b - 1
+		for i, v := range sig {
+			if got := c.slot(i); got != v&mask {
+				t.Fatalf("b=%d slot %d = %x, want %x", b, i, got, v&mask)
+			}
+		}
+	}
+}
+
+func TestBBitStorageShrinks(t *testing.T) {
+	sig := make(Signature, 128) // 1 KiB raw
+	c1, _ := Compact(sig, 1)
+	c8, _ := Compact(sig, 8)
+	if c1.Bytes() != 16 { // 128 bits
+		t.Fatalf("b=1 bytes %d", c1.Bytes())
+	}
+	if c8.Bytes() != 128 {
+		t.Fatalf("b=8 bytes %d", c8.Bytes())
+	}
+}
+
+func TestBBitIdenticalAndEmpty(t *testing.T) {
+	sk := MustSketcher(64, 8, 1)
+	set := kmer.FromSlice([]uint64{1, 9, 17, 33})
+	sig := sk.Sketch(set)
+	c, _ := Compact(sig, 4)
+	sim, err := c.Similarity(c)
+	if err != nil || sim != 1 {
+		t.Fatalf("self similarity %v, %v", sim, err)
+	}
+	emptyC, _ := Compact(sk.Sketch(kmer.Set{}), 4)
+	sim, err = emptyC.Similarity(c)
+	if err != nil || sim != 0 {
+		t.Fatalf("empty similarity %v, %v", sim, err)
+	}
+}
+
+func TestBBitGeometryMismatch(t *testing.T) {
+	a, _ := Compact(make(Signature, 10), 2)
+	b4, _ := Compact(make(Signature, 10), 4)
+	short, _ := Compact(make(Signature, 5), 2)
+	if _, err := a.Similarity(b4); err == nil {
+		t.Error("b mismatch accepted")
+	}
+	if _, err := a.Similarity(short); err == nil {
+		t.Error("n mismatch accepted")
+	}
+}
+
+// TestBBitEstimatorConverges verifies the collision-corrected estimate
+// tracks the true Jaccard for several b values.
+func TestBBitEstimatorConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const k = 10
+	sk := MustSketcher(1024, k, 6) // many hashes to isolate the b-bit error
+	for _, wantJ := range []float64{0.3, 0.7} {
+		shared := int(wantJ * 500)
+		only := 500 - shared
+		a, b := kmer.Set{}, kmer.Set{}
+		for i := 0; i < shared; i++ {
+			v := rng.Uint64() % kmer.FeatureSpace(k)
+			a.Add(v)
+			b.Add(v)
+		}
+		for i := 0; i < only; i++ {
+			a.Add(rng.Uint64() % kmer.FeatureSpace(k))
+			b.Add(rng.Uint64() % kmer.FeatureSpace(k))
+		}
+		trueJ := kmer.Jaccard(a, b)
+		sa, sb := sk.Sketch(a), sk.Sketch(b)
+		for _, bits := range []int{1, 2, 4, 8} {
+			ca, _ := Compact(sa, bits)
+			cb, _ := Compact(sb, bits)
+			got, err := ca.Similarity(cb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tol := 0.10
+			if bits == 1 {
+				tol = 0.15 // highest-variance setting
+			}
+			if math.Abs(got-trueJ) > tol {
+				t.Errorf("b=%d: estimate %.3f vs true %.3f", bits, got, trueJ)
+			}
+		}
+	}
+}
+
+// TestBBitUncorrectedWouldInflate documents why the correction exists: the
+// raw match fraction at small b sits well above the true Jaccard.
+func TestBBitUncorrectedWouldInflate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const k = 10
+	sk := MustSketcher(512, k, 8)
+	a, b := kmer.Set{}, kmer.Set{}
+	for i := 0; i < 400; i++ { // disjoint sets: true J ~ 0
+		a.Add(rng.Uint64() % kmer.FeatureSpace(k))
+		b.Add(rng.Uint64() % kmer.FeatureSpace(k))
+	}
+	ca, _ := Compact(sk.Sketch(a), 1)
+	cb, _ := Compact(sk.Sketch(b), 1)
+	match := 0
+	for i := 0; i < ca.N; i++ {
+		if ca.slot(i) == cb.slot(i) {
+			match++
+		}
+	}
+	rawFrac := float64(match) / float64(ca.N)
+	if rawFrac < 0.4 { // ~0.5 expected from 1-bit collisions
+		t.Fatalf("raw 1-bit match fraction %.3f suspiciously low", rawFrac)
+	}
+	corrected, _ := ca.Similarity(cb)
+	if corrected > 0.12 {
+		t.Fatalf("corrected estimate %.3f should be near 0", corrected)
+	}
+}
+
+func BenchmarkBBitSimilarity(b *testing.B) {
+	sk := MustSketcher(128, 8, 1)
+	s1 := sk.Sketch(kmer.FromSlice([]uint64{1, 2, 3}))
+	s2 := sk.Sketch(kmer.FromSlice([]uint64{2, 3, 4}))
+	c1, _ := Compact(s1, 2)
+	c2, _ := Compact(s2, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c1.Similarity(c2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

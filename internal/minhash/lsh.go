@@ -1,0 +1,99 @@
+package minhash
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// BandIndex is a locality-sensitive-hashing index over minwise signatures,
+// the data structure behind the authors' earlier MC-LSH algorithm: the
+// signature is split into b bands of r rows each; two signatures become
+// candidates if any band hashes identically. The probability that a pair
+// with Jaccard similarity s collides in at least one band is
+// 1 - (1 - s^r)^b, an S-curve with threshold near (1/b)^(1/r).
+type BandIndex struct {
+	Bands   int
+	Rows    int
+	buckets []map[uint64][]int // per band: band-hash -> signature ids
+	sigs    []Signature
+}
+
+// NewBandIndex creates an index for signatures of length bands*rows.
+func NewBandIndex(bands, rows int) (*BandIndex, error) {
+	if bands < 1 || rows < 1 {
+		return nil, fmt.Errorf("minhash: bands and rows must be positive (got %d, %d)", bands, rows)
+	}
+	idx := &BandIndex{Bands: bands, Rows: rows, buckets: make([]map[uint64][]int, bands)}
+	for i := range idx.buckets {
+		idx.buckets[i] = make(map[uint64][]int)
+	}
+	return idx, nil
+}
+
+// SignatureLen returns the required signature length bands*rows.
+func (ix *BandIndex) SignatureLen() int { return ix.Bands * ix.Rows }
+
+// Add inserts a signature and returns its id.
+func (ix *BandIndex) Add(sig Signature) (int, error) {
+	if len(sig) < ix.SignatureLen() {
+		return 0, fmt.Errorf("minhash: signature length %d < bands*rows %d", len(sig), ix.SignatureLen())
+	}
+	id := len(ix.sigs)
+	ix.sigs = append(ix.sigs, sig)
+	for b := 0; b < ix.Bands; b++ {
+		h := ix.bandHash(sig, b)
+		ix.buckets[b][h] = append(ix.buckets[b][h], id)
+	}
+	return id, nil
+}
+
+// Candidates returns the distinct ids of previously added signatures that
+// share at least one band with sig (excluding none; callers filter self).
+func (ix *BandIndex) Candidates(sig Signature) []int {
+	seen := make(map[int]struct{})
+	var out []int
+	for b := 0; b < ix.Bands; b++ {
+		h := ix.bandHash(sig, b)
+		for _, id := range ix.buckets[b][h] {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// Signature returns the stored signature for id.
+func (ix *BandIndex) Signature(id int) Signature { return ix.sigs[id] }
+
+// Len returns the number of indexed signatures.
+func (ix *BandIndex) Len() int { return len(ix.sigs) }
+
+// bandHash hashes rows [b*r, (b+1)*r) of sig.
+func (ix *BandIndex) bandHash(sig Signature, b int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for r := 0; r < ix.Rows; r++ {
+		v := sig[b*ix.Rows+r]
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// CollisionProbability returns the analytic probability that a pair with
+// Jaccard similarity s becomes a candidate: 1 - (1 - s^r)^b.
+func CollisionProbability(s float64, bands, rows int) float64 {
+	p := 1.0
+	sr := 1.0
+	for i := 0; i < rows; i++ {
+		sr *= s
+	}
+	for i := 0; i < bands; i++ {
+		p *= 1 - sr
+	}
+	return 1 - p
+}

@@ -1,0 +1,104 @@
+package minhash
+
+import (
+	"math"
+
+	"github.com/metagenomics/mrmcminh/internal/kmer"
+)
+
+// EmptyMin is the signature slot value for a feature set with no elements
+// (e.g. a read shorter than k): no hash value was observed.
+const EmptyMin = math.MaxUint64
+
+// Signature is the fixed-size sketch of one sequence: the minimum hash
+// value under each function of a HashFamily (Eq. 4).
+type Signature []uint64
+
+// Sketcher computes signatures from k-mer feature sets.
+type Sketcher struct {
+	Family *HashFamily
+}
+
+// NewSketcher returns a Sketcher drawing n hash functions for k-mers of
+// size k with the given seed.
+func NewSketcher(n, k int, seed int64) (*Sketcher, error) {
+	f, err := NewHashFamily(n, kmer.FeatureSpace(k), seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketcher{Family: f}, nil
+}
+
+// MustSketcher is NewSketcher panicking on error.
+func MustSketcher(n, k int, seed int64) *Sketcher {
+	s, err := NewSketcher(n, k, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// N returns the signature length.
+func (s *Sketcher) N() int { return s.Family.N() }
+
+// Sketch computes the minwise signature of a feature set. An empty set
+// yields a signature of EmptyMin slots.
+func (s *Sketcher) Sketch(set kmer.Set) Signature {
+	sig := make(Signature, s.Family.N())
+	for i := range sig {
+		sig[i] = EmptyMin
+	}
+	for x := range set {
+		s.observe(sig, x)
+	}
+	return sig
+}
+
+// SketchSlice computes the signature of a k-mer occurrence slice (duplicate
+// occurrences do not change the minimum, so Sketch(Set) and
+// SketchSlice(Slice) of the same sequence agree).
+func (s *Sketcher) SketchSlice(kms []uint64) Signature {
+	sig := make(Signature, s.Family.N())
+	for i := range sig {
+		sig[i] = EmptyMin
+	}
+	for _, x := range kms {
+		s.observe(sig, x)
+	}
+	return sig
+}
+
+// observe folds one feature into a partial signature.
+func (s *Sketcher) observe(sig Signature, x uint64) {
+	f := s.Family
+	for i := range sig {
+		if h := mulAddMod61(f.A[i], x, f.B[i]) % f.M; h < sig[i] {
+			sig[i] = h
+		}
+	}
+}
+
+// Empty reports whether the signature was computed from an empty feature set.
+func (sig Signature) Empty() bool {
+	return len(sig) == 0 || sig[0] == EmptyMin
+}
+
+// Equal reports exact slot-wise equality of two signatures.
+func (sig Signature) Equal(other Signature) bool {
+	if len(sig) != len(other) {
+		return false
+	}
+	for i := range sig {
+		if sig[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the signature.
+func (sig Signature) Clone() Signature {
+	out := make(Signature, len(sig))
+	copy(out, sig)
+	return out
+}

@@ -1,0 +1,182 @@
+package pig
+
+// AST node definitions for the supported Pig dialect.
+
+// Stmt is one script statement.
+type Stmt interface{ stmt() }
+
+// LoadStmt: alias = LOAD 'path' USING Loader(args) AS (schema);
+type LoadStmt struct {
+	Alias  string
+	Path   string
+	Loader string
+	Args   []Expr
+	As     Schema
+	Line   int
+}
+
+// ForeachStmt: alias = FOREACH input GENERATE items... ;
+type ForeachStmt struct {
+	Alias string
+	Input string
+	Items []GenItem
+	Line  int
+}
+
+// GenItem is one GENERATE projection, optionally FLATTENed and renamed.
+type GenItem struct {
+	Flatten bool
+	Expr    Expr
+	As      Schema
+}
+
+// GroupStmt: alias = GROUP input ALL;  or  alias = GROUP input BY expr;
+type GroupStmt struct {
+	Alias string
+	Input string
+	All   bool
+	By    Expr
+	Line  int
+}
+
+// StoreStmt: STORE alias INTO 'path';
+type StoreStmt struct {
+	Input string
+	Path  string
+	Line  int
+}
+
+// FilterStmt: alias = FILTER input BY condition;
+type FilterStmt struct {
+	Alias string
+	Input string
+	Cond  Expr
+	Line  int
+}
+
+// LimitStmt: alias = LIMIT input n;
+type LimitStmt struct {
+	Alias string
+	Input string
+	N     Expr
+	Line  int
+}
+
+// DistinctStmt: alias = DISTINCT input;
+type DistinctStmt struct {
+	Alias string
+	Input string
+	Line  int
+}
+
+// UnionStmt: alias = UNION a, b, ...;
+type UnionStmt struct {
+	Alias  string
+	Inputs []string
+	Line   int
+}
+
+// OrderStmt: alias = ORDER input BY field [DESC];
+type OrderStmt struct {
+	Alias string
+	Input string
+	By    Expr
+	Desc  bool
+	Line  int
+}
+
+// DumpStmt: DUMP alias;
+type DumpStmt struct {
+	Input string
+	Line  int
+}
+
+// JoinStmt: alias = JOIN a BY expr, b BY expr;
+type JoinStmt struct {
+	Alias  string
+	Inputs []string
+	Keys   []Expr // parallel to Inputs
+	Line   int
+}
+
+// DescribeStmt: DESCRIBE alias;
+type DescribeStmt struct {
+	Input string
+	Line  int
+}
+
+// SampleStmt: alias = SAMPLE input fraction;
+type SampleStmt struct {
+	Alias    string
+	Input    string
+	Fraction Expr
+	Line     int
+}
+
+func (LoadStmt) stmt()     {}
+func (ForeachStmt) stmt()  {}
+func (GroupStmt) stmt()    {}
+func (StoreStmt) stmt()    {}
+func (FilterStmt) stmt()   {}
+func (LimitStmt) stmt()    {}
+func (DistinctStmt) stmt() {}
+func (UnionStmt) stmt()    {}
+func (OrderStmt) stmt()    {}
+func (DumpStmt) stmt()     {}
+func (JoinStmt) stmt()     {}
+func (DescribeStmt) stmt() {}
+func (SampleStmt) stmt()   {}
+
+// Expr is an expression within GENERATE/BY clauses or UDF arguments.
+type Expr interface{ expr() }
+
+// FieldRef names a field of the current input tuple.
+type FieldRef struct{ Name string }
+
+// PositionalRef addresses a field by index ($0, $1, ...). In our dialect a
+// bare $NAME that matches a bound parameter is substituted at execution; a
+// $N with numeric N is positional.
+type PositionalRef struct{ Index int }
+
+// DottedRef is alias.field — either a field of the current tuple's
+// relation (when alias is the FOREACH input) or a scalar dereference of a
+// single-tuple foreign relation (the paper's I.F).
+type DottedRef struct{ Alias, Field string }
+
+// FuncCall invokes a registered UDF.
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+// Literal is a constant.
+type Literal struct{ Value Value }
+
+// ParamRef is an unresolved $PARAM substituted from the parameter map at
+// execution time.
+type ParamRef struct{ Name string }
+
+// Compare is a binary comparison: == != < <= > >=.
+type Compare struct {
+	Op   string
+	L, R Expr
+}
+
+// Logic is a boolean connective: AND, OR.
+type Logic struct {
+	Op   string // "and" | "or"
+	L, R Expr
+}
+
+// Not negates a boolean expression.
+type Not struct{ X Expr }
+
+func (FieldRef) expr()      {}
+func (PositionalRef) expr() {}
+func (DottedRef) expr()     {}
+func (FuncCall) expr()      {}
+func (Literal) expr()       {}
+func (ParamRef) expr()      {}
+func (Compare) expr()       {}
+func (Logic) expr()         {}
+func (Not) expr()           {}

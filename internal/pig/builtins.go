@@ -1,0 +1,217 @@
+package pig
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Builtin eval functions mirroring Pig's standard library subset that
+// metagenome scripts touch: bag aggregates (COUNT, SUM, AVG, MIN, MAX),
+// string helpers (CONCAT, UPPER, LOWER, STRSPLIT-less TOKENIZE) and SIZE.
+// They register alongside user UDFs so scripts can mix both.
+
+// RegisterBuiltins installs the builtin functions into a registry.
+// Safe to call once per registry; duplicate names error.
+func RegisterBuiltins(r *Registry) error {
+	builtins := []UDF{
+		{Name: "COUNT", GroupKeyArg: -1, Eval: builtinCount},
+		{Name: "SUM", GroupKeyArg: -1, Eval: builtinSum},
+		{Name: "AVG", GroupKeyArg: -1, Eval: builtinAvg},
+		{Name: "MIN", GroupKeyArg: -1, Eval: builtinMin},
+		{Name: "MAX", GroupKeyArg: -1, Eval: builtinMax},
+		{Name: "SIZE", GroupKeyArg: -1, Eval: builtinSize},
+		{Name: "CONCAT", GroupKeyArg: -1, Eval: builtinConcat},
+		{Name: "UPPER", GroupKeyArg: -1, Eval: builtinUpper},
+		{Name: "LOWER", GroupKeyArg: -1, Eval: builtinLower},
+		{Name: "TOKENIZE", GroupKeyArg: -1, Eval: builtinTokenize},
+	}
+	for _, u := range builtins {
+		if err := r.Register(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewRegistryWithBuiltins returns a registry preloaded with the builtins.
+func NewRegistryWithBuiltins() *Registry {
+	r := NewRegistry()
+	if err := RegisterBuiltins(r); err != nil {
+		panic(err) // fresh registry cannot collide
+	}
+	return r
+}
+
+// bagArg coerces a single UDF argument to a Bag.
+func bagArg(fn string, args []Value) (Bag, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("%s expects one bag argument, got %d", fn, len(args))
+	}
+	bag, ok := args[0].(Bag)
+	if !ok {
+		return nil, fmt.Errorf("%s expects a bag, got %T", fn, args[0])
+	}
+	return bag, nil
+}
+
+// firstFields projects the first field of every tuple in a bag.
+func firstFields(bag Bag) ([]Value, error) {
+	out := make([]Value, len(bag))
+	for i, t := range bag {
+		if len(t.Fields) == 0 {
+			return nil, fmt.Errorf("empty tuple in bag")
+		}
+		out[i] = t.Fields[0]
+	}
+	return out, nil
+}
+
+func builtinCount(_ *Context, args []Value) (Value, error) {
+	bag, err := bagArg("COUNT", args)
+	if err != nil {
+		return nil, err
+	}
+	return int64(len(bag)), nil
+}
+
+func builtinSum(_ *Context, args []Value) (Value, error) {
+	bag, err := bagArg("SUM", args)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := firstFields(bag)
+	if err != nil {
+		return nil, err
+	}
+	sum := 0.0
+	for _, v := range vals {
+		f, err := AsFloat(v)
+		if err != nil {
+			return nil, err
+		}
+		sum += f
+	}
+	return sum, nil
+}
+
+func builtinAvg(_ *Context, args []Value) (Value, error) {
+	bag, err := bagArg("AVG", args)
+	if err != nil {
+		return nil, err
+	}
+	if len(bag) == 0 {
+		return 0.0, nil
+	}
+	sumV, err := builtinSum(nil, args)
+	if err != nil {
+		return nil, err
+	}
+	return sumV.(float64) / float64(len(bag)), nil
+}
+
+func builtinMin(_ *Context, args []Value) (Value, error) {
+	return bagExtreme("MIN", args, func(a, b float64) bool { return a < b })
+}
+
+func builtinMax(_ *Context, args []Value) (Value, error) {
+	return bagExtreme("MAX", args, func(a, b float64) bool { return a > b })
+}
+
+// bagExtreme folds a bag's first fields with a better() predicate.
+func bagExtreme(fn string, args []Value, better func(a, b float64) bool) (Value, error) {
+	bag, err := bagArg(fn, args)
+	if err != nil {
+		return nil, err
+	}
+	if len(bag) == 0 {
+		return nil, fmt.Errorf("%s of an empty bag", fn)
+	}
+	vals, err := firstFields(bag)
+	if err != nil {
+		return nil, err
+	}
+	best, err := AsFloat(vals[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range vals[1:] {
+		f, err := AsFloat(v)
+		if err != nil {
+			return nil, err
+		}
+		if better(f, best) {
+			best = f
+		}
+	}
+	return best, nil
+}
+
+func builtinSize(_ *Context, args []Value) (Value, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("SIZE expects one argument, got %d", len(args))
+	}
+	switch x := args[0].(type) {
+	case Bag:
+		return int64(len(x)), nil
+	case Tuple:
+		return int64(len(x.Fields)), nil
+	case string:
+		return int64(len(x)), nil
+	case []byte:
+		return int64(len(x)), nil
+	default:
+		return nil, fmt.Errorf("SIZE of unsupported type %T", args[0])
+	}
+}
+
+func builtinConcat(_ *Context, args []Value) (Value, error) {
+	if len(args) < 2 {
+		return nil, fmt.Errorf("CONCAT expects at least two arguments, got %d", len(args))
+	}
+	var sb strings.Builder
+	for _, a := range args {
+		s, err := AsString(a)
+		if err != nil {
+			return nil, err
+		}
+		sb.WriteString(s)
+	}
+	return sb.String(), nil
+}
+
+func builtinUpper(_ *Context, args []Value) (Value, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("UPPER expects one argument, got %d", len(args))
+	}
+	s, err := AsString(args[0])
+	if err != nil {
+		return nil, err
+	}
+	return strings.ToUpper(s), nil
+}
+
+func builtinLower(_ *Context, args []Value) (Value, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("LOWER expects one argument, got %d", len(args))
+	}
+	s, err := AsString(args[0])
+	if err != nil {
+		return nil, err
+	}
+	return strings.ToLower(s), nil
+}
+
+func builtinTokenize(_ *Context, args []Value) (Value, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("TOKENIZE expects one argument, got %d", len(args))
+	}
+	s, err := AsString(args[0])
+	if err != nil {
+		return nil, err
+	}
+	var bag Bag
+	for _, w := range strings.Fields(s) {
+		bag = append(bag, NewTuple(w))
+	}
+	return bag, nil
+}

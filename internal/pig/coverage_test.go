@@ -1,0 +1,163 @@
+package pig
+
+import (
+	"strings"
+	"testing"
+)
+
+// Targeted tests for evaluation edge paths.
+
+func TestEvalTupleErrorPaths(t *testing.T) {
+	ctx := opsContext(t)
+	ctx.FS.WriteLines("/in", []string{"x y"})
+	cases := map[string]string{
+		"positional out of range": "A = LOAD '/in'; B = FOREACH A GENERATE $7;",
+		"tuple too short":         "A = LOAD '/in'; B = FOREACH A GENERATE missing;",
+		"udf error surfaces":      "A = LOAD '/in'; B = FOREACH A GENERATE SUM(line);",
+		"filter non-boolean":      "A = LOAD '/in'; B = FILTER A BY TOKENIZE(line);",
+		"order eval error":        "A = LOAD '/in'; B = ORDER A BY nosuch;",
+		"group by eval error":     "A = LOAD '/in'; B = GROUP A BY nosuch;",
+	}
+	for name, src := range cases {
+		script, err := Compile(src)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		if _, err := script.Run(ctx); err == nil {
+			t.Errorf("%s: ran without error", name)
+		}
+	}
+}
+
+func TestForeignDerefMultiTupleBecomesBag(t *testing.T) {
+	ctx := opsContext(t)
+	ctx.FS.WriteLines("/a", []string{"p", "q", "r"})
+	ctx.FS.WriteLines("/b", []string{"z"})
+	// B references multi-tuple relation A by field: yields a bag of that
+	// field across A's tuples.
+	script := MustCompile(`
+A = LOAD '/a';
+B = LOAD '/b';
+C = FOREACH B GENERATE SIZE(A.line);
+`)
+	res, err := script.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Aliases["C"].Tuples[0].Fields[0].(int64); got != 3 {
+		t.Fatalf("bag size %d, want 3", got)
+	}
+}
+
+func TestForeignDerefUnknownField(t *testing.T) {
+	ctx := opsContext(t)
+	ctx.FS.WriteLines("/a", []string{"p"})
+	ctx.FS.WriteLines("/b", []string{"z"})
+	script := MustCompile("A = LOAD '/a'; B = LOAD '/b'; C = FOREACH B GENERATE A.nosuch;")
+	if _, err := script.Run(ctx); err == nil {
+		t.Fatal("unknown foreign field accepted")
+	}
+}
+
+func TestEvalConstParamAndErrors(t *testing.T) {
+	ctx := opsContext(t)
+	ctx.FS.WriteLines("/in", []string{"1", "2", "3"})
+	ctx.Params["N"] = "2"
+	script := MustCompile("A = LOAD '/in'; B = LIMIT A $N;")
+	res, err := script.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aliases["B"].Tuples) != 2 {
+		t.Fatalf("param limit %d", len(res.Aliases["B"].Tuples))
+	}
+	// Missing param in expression position.
+	script = MustCompile("A = LOAD '/in'; B = LIMIT A $MISSING;")
+	if _, err := script.Run(ctx); err == nil {
+		t.Fatal("missing param accepted")
+	}
+	// Non-constant expression where constant required.
+	script = MustCompile("A = LOAD '/in'; B = LIMIT A line;")
+	if _, err := script.Run(ctx); err == nil {
+		t.Fatal("non-constant limit accepted")
+	}
+}
+
+func TestBuiltinSizeVariants(t *testing.T) {
+	if v, err := builtinSize(nil, []Value{Bag{NewTuple("a"), NewTuple("b")}}); err != nil || v.(int64) != 2 {
+		t.Fatalf("SIZE(bag) = %v, %v", v, err)
+	}
+	if v, err := builtinSize(nil, []Value{NewTuple("a", "b", "c")}); err != nil || v.(int64) != 3 {
+		t.Fatalf("SIZE(tuple) = %v, %v", v, err)
+	}
+	if v, err := builtinSize(nil, []Value{[]byte("abcd")}); err != nil || v.(int64) != 4 {
+		t.Fatalf("SIZE(bytes) = %v, %v", v, err)
+	}
+	if _, err := builtinLower(nil, []Value{Bag{}}); err == nil {
+		t.Fatal("LOWER(bag) accepted")
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	toks, err := lexAll("A = '$x' $P 5 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := ""
+	for _, tok := range toks {
+		joined += tok.String() + " "
+	}
+	for _, frag := range []string{"A", "=", "'$x'", "$P", "5", ";", "end of input"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("token strings %q missing %q", joined, frag)
+		}
+	}
+}
+
+func TestMustRegisterPanicsOnDuplicate(t *testing.T) {
+	r := NewRegistry()
+	u := UDF{Name: "Dup", GroupKeyArg: -1, Eval: func(*Context, []Value) (Value, error) { return nil, nil }}
+	r.MustRegister(u)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister did not panic on duplicate")
+		}
+	}()
+	r.MustRegister(u)
+}
+
+func TestWholeRelationUDFConstraints(t *testing.T) {
+	ctx := opsContext(t)
+	ctx.FS.WriteLines("/in", []string{"x", "y"})
+	// A whole-relation UDF must be the only GENERATE item.
+	script := MustCompile("A = LOAD '/in'; B = FOREACH A GENERATE CountAll(line), line;")
+	if _, err := script.Run(ctx); err == nil {
+		t.Fatal("whole-relation UDF with sibling items accepted")
+	}
+	// Grouped UDF with too few arguments.
+	script = MustCompile("A = LOAD '/in'; B = FOREACH A GENERATE ConcatGroup(line);")
+	if _, err := script.Run(ctx); err == nil {
+		t.Fatal("grouped UDF with one arg accepted")
+	}
+}
+
+func TestCompareValuesStringOps(t *testing.T) {
+	for _, c := range []struct {
+		op   string
+		l, r string
+		want bool
+	}{
+		{">", "b", "a", true},
+		{">=", "a", "a", true},
+		{"!=", "a", "b", true},
+		{"<=", "a", "b", true},
+	} {
+		got, err := compareValues(c.op, c.l, c.r)
+		if err != nil || got != c.want {
+			t.Errorf("%q %s %q = %v, %v", c.l, c.op, c.r, got, err)
+		}
+	}
+	if _, err := compareValues("~", "a", "b"); err == nil {
+		t.Error("unknown string operator accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package pig
+
+import (
+	"strings"
+	"testing"
+)
+
+// joinContext stages two small relations via per-tuple UDF splitting.
+func joinContext(t *testing.T) *Context {
+	t.Helper()
+	ctx := testContext(t)
+	if err := RegisterBuiltins(ctx.Registry); err != nil {
+		t.Fatal(err)
+	}
+	ctx.Registry.MustRegister(UDF{
+		Name:        "Pair",
+		GroupKeyArg: -1,
+		Eval: func(_ *Context, args []Value) (Value, error) {
+			s, err := AsString(args[0])
+			if err != nil {
+				return nil, err
+			}
+			parts := strings.Fields(s)
+			return NewTuple(parts[0], parts[1]), nil
+		},
+	})
+	return ctx
+}
+
+func TestJoinInner(t *testing.T) {
+	ctx := joinContext(t)
+	ctx.FS.WriteLines("/reads", []string{"r1 c0", "r2 c0", "r3 c1", "r4 c9"})
+	ctx.FS.WriteLines("/labels", []string{"c0 speciesA", "c1 speciesB", "c2 speciesC"})
+	script := MustCompile(`
+R = LOAD '/reads';
+Reads = FOREACH R GENERATE FLATTEN(Pair(line)) AS (rid, cid);
+L = LOAD '/labels';
+Labels = FOREACH L GENERATE FLATTEN(Pair(line)) AS (cid, species);
+J = JOIN Reads BY cid, Labels BY cid;
+`)
+	res, err := script.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := res.Aliases["J"]
+	// r1,r2 join c0; r3 joins c1; r4's c9 and labels' c2 drop (inner).
+	if len(j.Tuples) != 3 {
+		t.Fatalf("join rows %+v", j.Tuples)
+	}
+	// Schema disambiguates the duplicate cid.
+	if j.Schema.IndexOf("Reads::cid") < 0 || j.Schema.IndexOf("Labels::cid") < 0 {
+		t.Fatalf("schema %v", j.Schema)
+	}
+	if j.Schema.IndexOf("rid") < 0 || j.Schema.IndexOf("species") < 0 {
+		t.Fatalf("schema %v", j.Schema)
+	}
+	// Each row has 4 fields: rid, cid, cid, species.
+	for _, tup := range j.Tuples {
+		if len(tup.Fields) != 4 {
+			t.Fatalf("row %+v", tup)
+		}
+		if tup.Fields[1] != tup.Fields[2] {
+			t.Fatalf("join key mismatch in %+v", tup)
+		}
+	}
+}
+
+func TestJoinCrossProductWithinKey(t *testing.T) {
+	ctx := joinContext(t)
+	ctx.FS.WriteLines("/a", []string{"x 1", "x 2"})
+	ctx.FS.WriteLines("/b", []string{"x 9", "x 8", "x 7"})
+	script := MustCompile(`
+A0 = LOAD '/a';
+A = FOREACH A0 GENERATE FLATTEN(Pair(line)) AS (k, va);
+B0 = LOAD '/b';
+B = FOREACH B0 GENERATE FLATTEN(Pair(line)) AS (k, vb);
+J = JOIN A BY k, B BY k;
+`)
+	res, err := script.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aliases["J"].Tuples) != 6 {
+		t.Fatalf("cross product size %d, want 6", len(res.Aliases["J"].Tuples))
+	}
+	if res.Jobs < 3 { // two FOREACH jobs + join job
+		t.Fatalf("jobs %d", res.Jobs)
+	}
+}
+
+func TestJoinThreeWay(t *testing.T) {
+	ctx := joinContext(t)
+	ctx.FS.WriteLines("/a", []string{"k v1"})
+	ctx.FS.WriteLines("/b", []string{"k v2"})
+	ctx.FS.WriteLines("/c", []string{"k v3", "z v9"})
+	script := MustCompile(`
+A0 = LOAD '/a'; A = FOREACH A0 GENERATE FLATTEN(Pair(line)) AS (k, va);
+B0 = LOAD '/b'; B = FOREACH B0 GENERATE FLATTEN(Pair(line)) AS (k, vb);
+C0 = LOAD '/c'; C = FOREACH C0 GENERATE FLATTEN(Pair(line)) AS (k, vc);
+J = JOIN A BY k, B BY k, C BY k;
+`)
+	res, err := script.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := res.Aliases["J"]
+	if len(j.Tuples) != 1 || len(j.Tuples[0].Fields) != 6 {
+		t.Fatalf("three-way join %+v", j.Tuples)
+	}
+}
+
+func TestJoinNoMatchesEmpty(t *testing.T) {
+	ctx := joinContext(t)
+	ctx.FS.WriteLines("/a", []string{"x 1"})
+	ctx.FS.WriteLines("/b", []string{"y 2"})
+	script := MustCompile(`
+A0 = LOAD '/a'; A = FOREACH A0 GENERATE FLATTEN(Pair(line)) AS (k, va);
+B0 = LOAD '/b'; B = FOREACH B0 GENERATE FLATTEN(Pair(line)) AS (k, vb);
+J = JOIN A BY k, B BY k;
+`)
+	res, err := script.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aliases["J"].Tuples) != 0 {
+		t.Fatalf("disjoint join produced %+v", res.Aliases["J"].Tuples)
+	}
+}
+
+func TestJoinParserErrors(t *testing.T) {
+	bad := []string{
+		"J = JOIN A BY k;",        // single input
+		"J = JOIN A k, B BY k;",   // missing BY
+		"J = JOIN A BY , B BY k;", // missing key
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("script %q parsed", src)
+		}
+	}
+}
+
+func TestJoinUnknownAlias(t *testing.T) {
+	ctx := joinContext(t)
+	script := MustCompile("J = JOIN A BY k, B BY k;")
+	if _, err := script.Run(ctx); err == nil {
+		t.Fatal("unknown aliases accepted")
+	}
+}

@@ -1,0 +1,249 @@
+package pig
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString // '...'
+	tokParam  // $NAME
+	tokEquals
+	tokLParen
+	tokRParen
+	tokComma
+	tokSemi
+	tokColon
+	tokDot
+	tokEq  // ==
+	tokNeq // !=
+	tokLt  // <
+	tokLe  // <=
+	tokGt  // >
+	tokGe  // >=
+)
+
+// token is one lexical unit with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	case tokParam:
+		return "$" + t.text
+	default:
+		return t.text
+	}
+}
+
+// lexer produces tokens from Pig script text.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: lx.line, col: lx.col}, nil
+	}
+	start := token{line: lx.line, col: lx.col}
+	c := lx.src[lx.pos]
+	switch {
+	case c == '=' && lx.peek(1) == '=':
+		lx.advance(2)
+		start.kind, start.text = tokEq, "=="
+	case c == '=':
+		lx.advance(1)
+		start.kind, start.text = tokEquals, "="
+	case c == '!' && lx.peek(1) == '=':
+		lx.advance(2)
+		start.kind, start.text = tokNeq, "!="
+	case c == '<' && lx.peek(1) == '=':
+		lx.advance(2)
+		start.kind, start.text = tokLe, "<="
+	case c == '<':
+		lx.advance(1)
+		start.kind, start.text = tokLt, "<"
+	case c == '>' && lx.peek(1) == '=':
+		lx.advance(2)
+		start.kind, start.text = tokGe, ">="
+	case c == '>':
+		lx.advance(1)
+		start.kind, start.text = tokGt, ">"
+	case c == '(':
+		lx.advance(1)
+		start.kind, start.text = tokLParen, "("
+	case c == ')':
+		lx.advance(1)
+		start.kind, start.text = tokRParen, ")"
+	case c == ',':
+		lx.advance(1)
+		start.kind, start.text = tokComma, ","
+	case c == ';':
+		lx.advance(1)
+		start.kind, start.text = tokSemi, ";"
+	case c == ':':
+		lx.advance(1)
+		start.kind, start.text = tokColon, ":"
+	case c == '.':
+		lx.advance(1)
+		start.kind, start.text = tokDot, "."
+	case c == '\'':
+		s, err := lx.lexString()
+		if err != nil {
+			return token{}, err
+		}
+		start.kind, start.text = tokString, s
+	case c == '$':
+		lx.advance(1)
+		name := lx.lexIdentText()
+		if name == "" {
+			return token{}, fmt.Errorf("pig: line %d:%d: '$' must be followed by a parameter name", start.line, start.col)
+		}
+		start.kind, start.text = tokParam, name
+	case isIdentStart(rune(c)):
+		start.kind, start.text = tokIdent, lx.lexIdentText()
+	case unicode.IsDigit(rune(c)):
+		start.kind, start.text = tokNumber, lx.lexNumberText()
+	default:
+		return token{}, fmt.Errorf("pig: line %d:%d: unexpected character %q", start.line, start.col, c)
+	}
+	return start, nil
+}
+
+// skipSpaceAndComments consumes whitespace, -- line comments and /* */ blocks.
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance(1)
+		case strings.HasPrefix(lx.src[lx.pos:], "--"):
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.advance(1)
+			}
+		case strings.HasPrefix(lx.src[lx.pos:], "/*"):
+			lx.advance(2)
+			for lx.pos < len(lx.src) && !strings.HasPrefix(lx.src[lx.pos:], "*/") {
+				lx.advance(1)
+			}
+			if lx.pos < len(lx.src) {
+				lx.advance(2)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// lexString consumes a '...'-quoted string (no escapes in our dialect).
+func (lx *lexer) lexString() (string, error) {
+	startLine, startCol := lx.line, lx.col
+	lx.advance(1) // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '\'' {
+			lx.advance(1)
+			return sb.String(), nil
+		}
+		sb.WriteByte(c)
+		lx.advance(1)
+	}
+	return "", fmt.Errorf("pig: line %d:%d: unterminated string", startLine, startCol)
+}
+
+// lexIdentText consumes an identifier.
+func (lx *lexer) lexIdentText() string {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+		lx.advance(1)
+	}
+	return lx.src[start:lx.pos]
+}
+
+// lexNumberText consumes an integer or decimal literal.
+func (lx *lexer) lexNumberText() string {
+	start := lx.pos
+	seenDot := false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if unicode.IsDigit(rune(c)) {
+			lx.advance(1)
+		} else if c == '.' && !seenDot && lx.pos+1 < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.pos+1])) {
+			seenDot = true
+			lx.advance(1)
+		} else {
+			break
+		}
+	}
+	return lx.src[start:lx.pos]
+}
+
+// peek returns the byte n positions ahead, or 0 at end of input.
+func (lx *lexer) peek(n int) byte {
+	if lx.pos+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+n]
+}
+
+// advance moves n bytes, tracking line/column.
+func (lx *lexer) advance(n int) {
+	for i := 0; i < n && lx.pos < len(lx.src); i++ {
+		if lx.src[lx.pos] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

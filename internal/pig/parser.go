@@ -1,0 +1,657 @@
+package pig
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse tokenizes and parses a Pig script into statements.
+func Parse(src string) ([]Stmt, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for !p.at(tokEOF) {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, st)
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("pig: empty script")
+	}
+	return stmts, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token          { return p.toks[p.pos] }
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+// atKeyword matches a case-insensitive keyword identifier.
+func (p *parser) atKeyword(kw string) bool {
+	return p.at(tokIdent) && strings.EqualFold(p.cur().text, kw)
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if !p.at(k) {
+		t := p.cur()
+		return t, fmt.Errorf("pig: line %d:%d: expected %s, got %s", t.line, t.col, what, t)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		t := p.cur()
+		return fmt.Errorf("pig: line %d:%d: expected %s, got %s", t.line, t.col, strings.ToUpper(kw), t)
+	}
+	p.advance()
+	return nil
+}
+
+// statement parses one semicolon-terminated statement.
+func (p *parser) statement() (Stmt, error) {
+	if p.atKeyword("store") {
+		return p.storeStmt()
+	}
+	if p.atKeyword("dump") {
+		return p.dumpStmt()
+	}
+	if p.atKeyword("describe") {
+		return p.describeStmt()
+	}
+	// alias = LOAD | FOREACH | GROUP | FILTER | LIMIT | DISTINCT | UNION | ORDER ...
+	aliasTok, err := p.expect(tokIdent, "alias")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEquals, "'='"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.atKeyword("load"):
+		return p.loadStmt(aliasTok)
+	case p.atKeyword("foreach"):
+		return p.foreachStmt(aliasTok)
+	case p.atKeyword("group"):
+		return p.groupStmt(aliasTok)
+	case p.atKeyword("filter"):
+		return p.filterStmt(aliasTok)
+	case p.atKeyword("limit"):
+		return p.limitStmt(aliasTok)
+	case p.atKeyword("distinct"):
+		return p.distinctStmt(aliasTok)
+	case p.atKeyword("union"):
+		return p.unionStmt(aliasTok)
+	case p.atKeyword("order"):
+		return p.orderStmt(aliasTok)
+	case p.atKeyword("join"):
+		return p.joinStmt(aliasTok)
+	case p.atKeyword("sample"):
+		return p.sampleStmt(aliasTok)
+	default:
+		t := p.cur()
+		return nil, fmt.Errorf("pig: line %d:%d: expected a relational operator (LOAD, FOREACH, GROUP, FILTER, LIMIT, DISTINCT, UNION, ORDER, JOIN), got %s", t.line, t.col, t)
+	}
+}
+
+// filterStmt parses: FILTER input BY condition;
+func (p *parser) filterStmt(alias token) (Stmt, error) {
+	p.advance() // FILTER
+	inputTok, err := p.expect(tokIdent, "input alias")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("by"); err != nil {
+		return nil, err
+	}
+	cond, err := p.condition()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &FilterStmt{Alias: alias.text, Input: inputTok.text, Cond: cond, Line: alias.line}, nil
+}
+
+// limitStmt parses: LIMIT input n;
+func (p *parser) limitStmt(alias token) (Stmt, error) {
+	p.advance() // LIMIT
+	inputTok, err := p.expect(tokIdent, "input alias")
+	if err != nil {
+		return nil, err
+	}
+	n, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &LimitStmt{Alias: alias.text, Input: inputTok.text, N: n, Line: alias.line}, nil
+}
+
+// distinctStmt parses: DISTINCT input;
+func (p *parser) distinctStmt(alias token) (Stmt, error) {
+	p.advance() // DISTINCT
+	inputTok, err := p.expect(tokIdent, "input alias")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &DistinctStmt{Alias: alias.text, Input: inputTok.text, Line: alias.line}, nil
+}
+
+// unionStmt parses: UNION a, b {, c};
+func (p *parser) unionStmt(alias token) (Stmt, error) {
+	p.advance() // UNION
+	st := &UnionStmt{Alias: alias.text, Line: alias.line}
+	for {
+		inputTok, err := p.expect(tokIdent, "input alias")
+		if err != nil {
+			return nil, err
+		}
+		st.Inputs = append(st.Inputs, inputTok.text)
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if len(st.Inputs) < 2 {
+		return nil, fmt.Errorf("pig: line %d: UNION needs at least two inputs", alias.line)
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// orderStmt parses: ORDER input BY expr [DESC|ASC];
+func (p *parser) orderStmt(alias token) (Stmt, error) {
+	p.advance() // ORDER
+	inputTok, err := p.expect(tokIdent, "input alias")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("by"); err != nil {
+		return nil, err
+	}
+	by, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	st := &OrderStmt{Alias: alias.text, Input: inputTok.text, By: by, Line: alias.line}
+	if p.atKeyword("desc") {
+		p.advance()
+		st.Desc = true
+	} else if p.atKeyword("asc") {
+		p.advance()
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// joinStmt parses: JOIN a BY expr, b BY expr {, c BY expr};
+func (p *parser) joinStmt(alias token) (Stmt, error) {
+	p.advance() // JOIN
+	st := &JoinStmt{Alias: alias.text, Line: alias.line}
+	for {
+		inputTok, err := p.expect(tokIdent, "input alias")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		key, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.Inputs = append(st.Inputs, inputTok.text)
+		st.Keys = append(st.Keys, key)
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if len(st.Inputs) < 2 {
+		return nil, fmt.Errorf("pig: line %d: JOIN needs at least two inputs", alias.line)
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// describeStmt parses: DESCRIBE alias;
+func (p *parser) describeStmt() (Stmt, error) {
+	startTok := p.advance() // DESCRIBE
+	inputTok, err := p.expect(tokIdent, "alias")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &DescribeStmt{Input: inputTok.text, Line: startTok.line}, nil
+}
+
+// sampleStmt parses: SAMPLE input fraction;
+func (p *parser) sampleStmt(alias token) (Stmt, error) {
+	p.advance() // SAMPLE
+	inputTok, err := p.expect(tokIdent, "input alias")
+	if err != nil {
+		return nil, err
+	}
+	frac, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &SampleStmt{Alias: alias.text, Input: inputTok.text, Fraction: frac, Line: alias.line}, nil
+}
+
+// dumpStmt parses: DUMP alias;
+func (p *parser) dumpStmt() (Stmt, error) {
+	startTok := p.advance() // DUMP
+	inputTok, err := p.expect(tokIdent, "alias")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &DumpStmt{Input: inputTok.text, Line: startTok.line}, nil
+}
+
+// condition parses a boolean expression: OR over AND over NOT over
+// comparisons.
+func (p *parser) condition() (Expr, error) {
+	left, err := p.andCondition()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		p.advance()
+		right, err := p.andCondition()
+		if err != nil {
+			return nil, err
+		}
+		left = Logic{Op: "or", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andCondition() (Expr, error) {
+	left, err := p.notCondition()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		p.advance()
+		right, err := p.notCondition()
+		if err != nil {
+			return nil, err
+		}
+		left = Logic{Op: "and", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) notCondition() (Expr, error) {
+	if p.atKeyword("not") {
+		p.advance()
+		x, err := p.notCondition()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: x}, nil
+	}
+	if p.at(tokLParen) {
+		// Parenthesized sub-condition.
+		save := p.pos
+		p.advance()
+		inner, err := p.condition()
+		if err == nil && p.at(tokRParen) {
+			p.advance()
+			// A parenthesized condition not followed by a comparison
+			// operator is complete; otherwise fall through to comparison.
+			if !p.atComparison() {
+				return inner, nil
+			}
+		}
+		p.pos = save
+	}
+	return p.comparison()
+}
+
+// comparison parses: expr [op expr].
+func (p *parser) comparison() (Expr, error) {
+	left, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atComparison() {
+		return left, nil // bare boolean expression (e.g. a UDF call)
+	}
+	opTok := p.advance()
+	right, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	return Compare{Op: opTok.text, L: left, R: right}, nil
+}
+
+// atComparison reports whether the cursor sits on a comparison operator.
+func (p *parser) atComparison() bool {
+	switch p.cur().kind {
+	case tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+		return true
+	}
+	return false
+}
+
+// loadStmt parses: LOAD 'path' [USING Loader[(args)]] [AS (schema)];
+func (p *parser) loadStmt(alias token) (Stmt, error) {
+	p.advance() // LOAD
+	pathTok, err := p.expect(tokString, "quoted path")
+	if err != nil {
+		return nil, err
+	}
+	st := &LoadStmt{Alias: alias.text, Path: pathTok.text, Line: alias.line}
+	if p.atKeyword("using") {
+		p.advance()
+		nameTok, err := p.expect(tokIdent, "loader name")
+		if err != nil {
+			return nil, err
+		}
+		st.Loader = nameTok.text
+		if p.at(tokLParen) {
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			st.Args = args
+		}
+	}
+	if p.atKeyword("as") {
+		p.advance()
+		schema, err := p.schema()
+		if err != nil {
+			return nil, err
+		}
+		st.As = schema
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// foreachStmt parses: FOREACH input GENERATE item {, item};
+func (p *parser) foreachStmt(alias token) (Stmt, error) {
+	p.advance() // FOREACH
+	inputTok, err := p.expect(tokIdent, "input alias")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("generate"); err != nil {
+		return nil, err
+	}
+	st := &ForeachStmt{Alias: alias.text, Input: inputTok.text, Line: alias.line}
+	for {
+		item, err := p.genItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// genItem parses: [FLATTEN(] expr [)] [AS (schema) | AS name[:type]]
+func (p *parser) genItem() (GenItem, error) {
+	var item GenItem
+	if p.atKeyword("flatten") {
+		p.advance()
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return item, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return item, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return item, err
+		}
+		item.Flatten = true
+		item.Expr = e
+	} else {
+		e, err := p.expression()
+		if err != nil {
+			return item, err
+		}
+		item.Expr = e
+	}
+	if p.atKeyword("as") {
+		p.advance()
+		if p.at(tokLParen) {
+			schema, err := p.schema()
+			if err != nil {
+				return item, err
+			}
+			item.As = schema
+		} else {
+			f, err := p.schemaField()
+			if err != nil {
+				return item, err
+			}
+			item.As = Schema{f}
+		}
+	}
+	return item, nil
+}
+
+// groupStmt parses: GROUP input ALL; or GROUP input BY expr;
+func (p *parser) groupStmt(alias token) (Stmt, error) {
+	p.advance() // GROUP
+	inputTok, err := p.expect(tokIdent, "input alias")
+	if err != nil {
+		return nil, err
+	}
+	st := &GroupStmt{Alias: alias.text, Input: inputTok.text, Line: alias.line}
+	switch {
+	case p.atKeyword("all"):
+		p.advance()
+		st.All = true
+	case p.atKeyword("by"):
+		p.advance()
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.By = e
+	default:
+		t := p.cur()
+		return nil, fmt.Errorf("pig: line %d:%d: expected ALL or BY, got %s", t.line, t.col, t)
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// storeStmt parses: STORE alias INTO 'path';
+func (p *parser) storeStmt() (Stmt, error) {
+	startTok := p.advance() // STORE
+	inputTok, err := p.expect(tokIdent, "alias")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	pathTok, err := p.expect(tokString, "quoted path")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &StoreStmt{Input: inputTok.text, Path: pathTok.text, Line: startTok.line}, nil
+}
+
+// expression parses a primary expression: literal, param, field, dotted
+// reference or function call.
+func (p *parser) expression() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("pig: line %d:%d: bad number %q", t.line, t.col, t.text)
+			}
+			return Literal{Value: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pig: line %d:%d: bad number %q", t.line, t.col, t.text)
+		}
+		return Literal{Value: n}, nil
+	case tokString:
+		p.advance()
+		return Literal{Value: t.text}, nil
+	case tokParam:
+		p.advance()
+		if n, err := strconv.Atoi(t.text); err == nil {
+			return PositionalRef{Index: n}, nil
+		}
+		return ParamRef{Name: t.text}, nil
+	case tokIdent:
+		p.advance()
+		name := t.text
+		if p.at(tokLParen) {
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			return FuncCall{Name: name, Args: args}, nil
+		}
+		if p.at(tokDot) {
+			p.advance()
+			fieldTok, err := p.expect(tokIdent, "field name after '.'")
+			if err != nil {
+				return nil, err
+			}
+			return DottedRef{Alias: name, Field: fieldTok.text}, nil
+		}
+		return FieldRef{Name: name}, nil
+	default:
+		return nil, fmt.Errorf("pig: line %d:%d: unexpected %s in expression", t.line, t.col, t)
+	}
+}
+
+// argList parses: ( expr {, expr} ) — possibly empty.
+func (p *parser) argList() ([]Expr, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.at(tokRParen) {
+		p.advance()
+		return args, nil
+	}
+	for {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+// schema parses: ( field {, field} )
+func (p *parser) schema() (Schema, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var s Schema
+	for {
+		f, err := p.schemaField()
+		if err != nil {
+			return nil, err
+		}
+		s = append(s, f)
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// schemaField parses: name[:type]
+func (p *parser) schemaField() (FieldSchema, error) {
+	nameTok, err := p.expect(tokIdent, "field name")
+	if err != nil {
+		return FieldSchema{}, err
+	}
+	f := FieldSchema{Name: nameTok.text}
+	if p.at(tokColon) {
+		p.advance()
+		typeTok, err := p.expect(tokIdent, "field type")
+		if err != nil {
+			return FieldSchema{}, err
+		}
+		f.Type = strings.ToLower(typeTok.text)
+	}
+	return f, nil
+}

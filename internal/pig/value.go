@@ -1,0 +1,154 @@
+// Package pig implements a miniature Pig Latin: a lexer, parser and
+// executor for the dialect the paper's Algorithm 3 is written in —
+// LOAD ... USING loader AS (schema), FOREACH ... GENERATE FLATTEN(expr) AS
+// (schema), GROUP ... ALL / BY, and STORE ... INTO. Relations execute as
+// MapReduce jobs on the simulated cluster, with user-defined functions
+// (UDFs) supplied through a registry, exactly as the paper layers its
+// clustering UDFs over Hadoop via Pig.
+package pig
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is any Pig data value: string, int64, float64, []byte, Tuple, Bag,
+// or an opaque Go value produced by a UDF (e.g. a minhash signature).
+type Value any
+
+// Tuple is an ordered list of fields.
+type Tuple struct {
+	Fields []Value
+}
+
+// NewTuple builds a tuple from values.
+func NewTuple(fields ...Value) Tuple { return Tuple{Fields: fields} }
+
+// Bag is an unordered collection of tuples (order is preserved by the
+// executor for determinism).
+type Bag []Tuple
+
+// FieldSchema names and types one tuple field.
+type FieldSchema struct {
+	Name string
+	Type string // chararray, int, long, double, bytearray, bag — advisory
+}
+
+// Schema is an ordered field list.
+type Schema []FieldSchema
+
+// IndexOf returns the position of the named field or -1.
+func (s Schema) IndexOf(name string) int {
+	for i, f := range s {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the schema as "(a:chararray, b:long)".
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, f := range s {
+		if f.Type == "" {
+			parts[i] = f.Name
+		} else {
+			parts[i] = f.Name + ":" + f.Type
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Relation is a materialized alias: a schema plus tuples.
+type Relation struct {
+	Schema Schema
+	Tuples Bag
+}
+
+// FormatValue renders a value in Pig's textual output style.
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case []byte:
+		return string(x)
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case Tuple:
+		parts := make([]string, len(x.Fields))
+		for i, f := range x.Fields {
+			parts[i] = FormatValue(f)
+		}
+		return "(" + strings.Join(parts, ",") + ")"
+	case Bag:
+		parts := make([]string, len(x))
+		for i, t := range x {
+			parts[i] = FormatValue(t)
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// AsInt coerces a numeric or numeric-string value to int.
+func AsInt(v Value) (int, error) {
+	switch x := v.(type) {
+	case int:
+		return x, nil
+	case int64:
+		return int(x), nil
+	case float64:
+		return int(x), nil
+	case string:
+		n, err := strconv.Atoi(strings.TrimSpace(x))
+		if err != nil {
+			return 0, fmt.Errorf("pig: cannot convert %q to int", x)
+		}
+		return n, nil
+	default:
+		return 0, fmt.Errorf("pig: cannot convert %T to int", v)
+	}
+}
+
+// AsFloat coerces a numeric or numeric-string value to float64.
+func AsFloat(v Value) (float64, error) {
+	switch x := v.(type) {
+	case int:
+		return float64(x), nil
+	case int64:
+		return float64(x), nil
+	case float64:
+		return x, nil
+	case string:
+		f, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+		if err != nil {
+			return 0, fmt.Errorf("pig: cannot convert %q to float", x)
+		}
+		return f, nil
+	default:
+		return 0, fmt.Errorf("pig: cannot convert %T to float", v)
+	}
+}
+
+// AsString coerces a scalar value to string.
+func AsString(v Value) (string, error) {
+	switch x := v.(type) {
+	case string:
+		return x, nil
+	case []byte:
+		return string(x), nil
+	case int, int64, float64:
+		return FormatValue(x), nil
+	default:
+		return "", fmt.Errorf("pig: cannot convert %T to string", v)
+	}
+}

@@ -1,0 +1,134 @@
+package simulate
+
+import (
+	"math/rand"
+)
+
+// 454 pyrosequencing error model. The paper's benchmarks come from
+// 454/Roche machines (Sogin et al., Huse et al.), whose dominant error is
+// *homopolymer miscall*: a run of identical bases ("AAAA") reads as one
+// base too many or too few, because flow intensity — not per-base calls —
+// encodes run length. Substitutions are comparatively rare. Huse et al.
+// (the paper's 16S-accuracy reference) quantify exactly this, so the
+// simulator offers the flowgram-style error channel alongside the plain
+// substitution model.
+
+// Error454Options tunes the pyrosequencing channel.
+type Error454Options struct {
+	// HomopolymerRate is the per-run probability of an indel miscall,
+	// scaled by run length (longer runs are harder to resolve).
+	HomopolymerRate float64
+	// SubstitutionRate is the per-base substitution probability.
+	SubstitutionRate float64
+}
+
+// DefaultError454 approximates Huse et al.'s observations: homopolymer
+// errors dominate, substitutions are an order of magnitude rarer.
+var DefaultError454 = Error454Options{
+	HomopolymerRate:  0.01,
+	SubstitutionRate: 0.001,
+}
+
+// Apply454Errors returns a copy of seq passed through the pyrosequencing
+// channel: each homopolymer run may gain or lose one base, each base may
+// substitute.
+func Apply454Errors(seq []byte, opt Error454Options, rng *rand.Rand) []byte {
+	out := make([]byte, 0, len(seq)+4)
+	for i := 0; i < len(seq); {
+		// Identify the homopolymer run starting at i.
+		j := i + 1
+		for j < len(seq) && seq[j] == seq[i] {
+			j++
+		}
+		runLen := j - i
+		// Miscall probability grows with run length (flow saturation).
+		p := opt.HomopolymerRate * float64(runLen)
+		if p > 0.5 {
+			p = 0.5
+		}
+		emit := runLen
+		if rng.Float64() < p {
+			if rng.Intn(2) == 0 && runLen > 1 {
+				emit = runLen - 1 // undercall
+			} else {
+				emit = runLen + 1 // overcall
+			}
+		}
+		for k := 0; k < emit; k++ {
+			out = append(out, seq[i])
+		}
+		i = j
+	}
+	// Substitutions on the emitted bases.
+	if opt.SubstitutionRate > 0 {
+		for i := range out {
+			if rng.Float64() < opt.SubstitutionRate {
+				out[i] = substitute(out[i], rng)
+			}
+		}
+	}
+	return out
+}
+
+// Amplicons454 simulates a 16S sample through the pyrosequencing error
+// channel instead of the uniform substitution model: reads are primer-
+// anchored like Amplicons, but each passes Apply454Errors, so homopolymer
+// indels dominate — the error structure DOTUR-era OTU inflation studies
+// (Huse et al.) were written about.
+func Amplicons454(opt AmpliconOptions, err454 Error454Options) ([]Record454, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := New16SModel(4, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 31))
+	total := opt.Taxa * opt.ReadsPerTaxon
+	out := make([]Record454, 0, total)
+	for i := 0; i < total; i++ {
+		taxon := rng.Intn(opt.Taxa)
+		gene := model.Gene(taxon)
+		length := opt.ReadLength
+		if length > len(gene) {
+			length = len(gene)
+		}
+		anchor := len(model.conserved[0]) - ampliconPrimerLen
+		if anchor < 0 {
+			anchor = 0
+		}
+		start := anchor + rng.Intn(4)
+		if start+length > len(gene) {
+			start = len(gene) - length
+		}
+		clean := gene[start : start+length]
+		noisy := Apply454Errors(clean, err454, rng)
+		out = append(out, Record454{
+			ID:    recordID454(i),
+			Taxon: taxon,
+			Clean: append([]byte{}, clean...),
+			Read:  noisy,
+		})
+	}
+	return out, nil
+}
+
+// Record454 pairs a noisy pyrosequencing read with its clean source
+// fragment, so tests can measure exactly what the channel did.
+type Record454 struct {
+	ID    string
+	Taxon int
+	Clean []byte
+	Read  []byte
+}
+
+// recordID454 formats a read id.
+func recordID454(i int) string {
+	const digits = "0123456789"
+	buf := []byte("fs_000000")
+	for p := len(buf) - 1; i > 0 && p >= 3; p-- {
+		buf[p] = digits[i%10]
+		i /= 10
+	}
+	return string(buf)
+}

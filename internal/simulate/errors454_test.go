@@ -1,0 +1,131 @@
+package simulate
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/metagenomics/mrmcminh/internal/align"
+)
+
+func TestApply454ErrorsNoErrorIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seq := []byte("ACGGGTTAACCCGT")
+	out := Apply454Errors(seq, Error454Options{}, rng)
+	if !bytes.Equal(out, seq) {
+		t.Fatalf("zero-rate channel altered the read: %s -> %s", seq, out)
+	}
+}
+
+func TestApply454ErrorsProducesIndelsInHomopolymers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Long homopolymer runs -> length changes should appear often.
+	seq := bytes.Repeat([]byte("AAAAAACCCCCC"), 20)
+	changed := 0
+	for trial := 0; trial < 50; trial++ {
+		out := Apply454Errors(seq, Error454Options{HomopolymerRate: 0.02}, rng)
+		if len(out) != len(seq) {
+			changed++
+		}
+	}
+	if changed < 25 {
+		t.Fatalf("only %d/50 trials changed length in a homopolymer-rich read", changed)
+	}
+}
+
+func TestApply454ErrorsRareInHomopolymerFreeReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Alternating bases: every run has length 1, undercall impossible,
+	// overcall probability = rate per run.
+	seq := bytes.Repeat([]byte("ACGT"), 50)
+	diffs := 0
+	for trial := 0; trial < 50; trial++ {
+		out := Apply454Errors(seq, Error454Options{HomopolymerRate: 0.001}, rng)
+		if len(out) != len(seq) {
+			diffs++
+		}
+	}
+	if diffs > 25 {
+		t.Fatalf("%d/50 trials changed length despite no homopolymers", diffs)
+	}
+}
+
+func TestApply454ErrorsSubstitutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	seq := bytes.Repeat([]byte("ACGT"), 250)
+	out := Apply454Errors(seq, Error454Options{SubstitutionRate: 0.05}, rng)
+	if len(out) != len(seq) {
+		t.Fatalf("substitution-only channel changed length")
+	}
+	diff := 0
+	for i := range out {
+		if out[i] != seq[i] {
+			diff++
+		}
+	}
+	if diff < 20 || diff > 90 {
+		t.Fatalf("substitutions %d of 1000, want ~50", diff)
+	}
+}
+
+func TestApply454ErrorsIdentityStaysHigh(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := GenerateGenome("x", 2000, 0.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := g.Seq[:400]
+	out := Apply454Errors(seq, DefaultError454, rng)
+	id := align.Global(seq, out, align.DefaultScoring).Identity()
+	if id < 0.95 {
+		t.Fatalf("default channel identity %.3f, want >= 0.95", id)
+	}
+}
+
+func TestAmplicons454(t *testing.T) {
+	recs, err := Amplicons454(AmpliconOptions{
+		Taxa: 8, ReadsPerTaxon: 10, ReadLength: 80, Seed: 7,
+	}, DefaultError454)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 80 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	lengthChanged := 0
+	for _, r := range recs {
+		if r.Taxon < 0 || r.Taxon >= 8 {
+			t.Fatalf("taxon %d out of range", r.Taxon)
+		}
+		if len(r.Clean) != 80 {
+			t.Fatalf("clean length %d", len(r.Clean))
+		}
+		if len(r.Read) != len(r.Clean) {
+			lengthChanged++
+		}
+		if r.ID == "" {
+			t.Fatal("missing id")
+		}
+	}
+	if lengthChanged == 0 {
+		t.Fatal("pyrosequencing channel produced no indels across 80 reads")
+	}
+}
+
+func TestAmplicons454Validation(t *testing.T) {
+	if _, err := Amplicons454(AmpliconOptions{Taxa: 0, ReadsPerTaxon: 1, ReadLength: 60}, DefaultError454); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+func TestRecordID454(t *testing.T) {
+	if got := recordID454(0); got != "fs_000000" {
+		t.Fatalf("id %q", got)
+	}
+	if got := recordID454(42); got != "fs_000042" {
+		t.Fatalf("id %q", got)
+	}
+	if got := recordID454(123456); got != "fs_123456" {
+		t.Fatalf("id %q", got)
+	}
+}

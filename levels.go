@@ -1,0 +1,55 @@
+package mrmcminh
+
+import (
+	"github.com/metagenomics/mrmcminh/internal/consensus"
+	"github.com/metagenomics/mrmcminh/internal/core"
+	"github.com/metagenomics/mrmcminh/internal/diversity"
+)
+
+// LevelsResult is a multi-threshold hierarchical clustering: one shared
+// similarity matrix and dendrogram, cut at several thresholds (finest
+// first) — the paper's per-taxonomic-level output.
+type LevelsResult = core.LevelsResult
+
+// LevelAssignment is one flat clustering within a LevelsResult.
+type LevelAssignment = core.LevelAssignment
+
+// ClusterLevels runs the hierarchical pipeline once and extracts a flat
+// clustering at every threshold, e.g. species/genus/family OTU levels
+// from a single run. Options' Theta and Mode are ignored.
+func ClusterLevels(reads []Record, opt Options, thetas []float64) (*LevelsResult, error) {
+	return core.RunLevels(reads, opt, thetas)
+}
+
+// Representatives returns clusterID -> representative read index: the
+// medoid of each cluster under the minhash similarity estimator, computed
+// with the same sketch parameters used for clustering. Downstream
+// workflows can then analyze one read per cluster instead of all reads.
+func Representatives(reads []Record, res *Result, opt Options) (map[int]int, error) {
+	return core.PickRepresentatives(reads, res.Assignments, opt)
+}
+
+// DiversityProfile summarizes a clustering as an OTU abundance profile
+// exposing the standard diversity statistics (Shannon, Simpson, Chao1,
+// Good's coverage, rarefaction).
+type DiversityProfile = diversity.Profile
+
+// Diversity builds the abundance profile of a clustering result.
+func Diversity(res *Result) DiversityProfile {
+	return diversity.NewProfile(res.Assignments)
+}
+
+// ConsensusOptions tunes per-cluster consensus building.
+type ConsensusOptions = consensus.Options
+
+// Consensus derives one consensus sequence per cluster: members are
+// star-aligned to the cluster medoid and each column takes the majority
+// base, outvoting individual sequencing errors. Returns clusterID ->
+// consensus sequence.
+func Consensus(reads []Record, res *Result, opt Options, copt ConsensusOptions) (map[int][]byte, error) {
+	reps, err := core.PickRepresentatives(reads, res.Assignments, opt)
+	if err != nil {
+		return nil, err
+	}
+	return consensus.Build(reads, res.Assignments, reps, copt)
+}

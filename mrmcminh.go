@@ -1,0 +1,165 @@
+// Package mrmcminh is a Go reproduction of "A Map-Reduce Framework for
+// Clustering Metagenomes" (Rasheed & Rangwala, 2013): MinHash-based
+// clustering of metagenome sequence reads on a simulated Hadoop/Pig stack.
+//
+// The package exposes the paper's two algorithms through one entry point:
+//
+//	reads, _ := mrmcminh.ReadFasta("sample.fa")
+//	res, _ := mrmcminh.Cluster(reads, mrmcminh.Options{
+//		K:         5,
+//		NumHashes: 100,
+//		Theta:     0.9,
+//		Mode:      mrmcminh.Hierarchical,
+//	})
+//	fmt.Println(res.NumClusters())
+//
+// Greedy mode is the paper's Algorithm 1 (incremental,
+// representative-based); Hierarchical mode is Algorithm 2 (all-pairs
+// minhash similarity matrix, computed with row-partitioned map tasks, then
+// agglomerative linkage cut at θ). Runtime figures reported in Result
+// come from the simulated cluster's virtual clock, mirroring the paper's
+// Amazon EMR deployments.
+package mrmcminh
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/metagenomics/mrmcminh/internal/cluster"
+	"github.com/metagenomics/mrmcminh/internal/core"
+	"github.com/metagenomics/mrmcminh/internal/fasta"
+	"github.com/metagenomics/mrmcminh/internal/mapreduce"
+	"github.com/metagenomics/mrmcminh/internal/metrics"
+	"github.com/metagenomics/mrmcminh/internal/minhash"
+)
+
+// Mode selects the clustering algorithm.
+type Mode = core.Mode
+
+// Clustering algorithm modes.
+const (
+	// Greedy is MrMC-MinH^g (Algorithm 1).
+	Greedy = core.GreedyMode
+	// Hierarchical is MrMC-MinH^h (Algorithm 2).
+	Hierarchical = core.HierarchicalMode
+)
+
+// Linkage selects the hierarchical merge rule.
+type Linkage = cluster.Linkage
+
+// Hierarchical linkage policies.
+const (
+	SingleLinkage   = cluster.Single
+	AverageLinkage  = cluster.Average
+	CompleteLinkage = cluster.Complete
+)
+
+// Record is one FASTA sequence read.
+type Record = fasta.Record
+
+// Options parameterizes a clustering run. Zero values select the paper's
+// whole-metagenome defaults (k=5, n=100, θ=0.9, average linkage, 8-node
+// simulated cluster).
+type Options = core.Options
+
+// Result is a completed clustering run.
+type Result = core.Result
+
+// ClusterConfig describes the simulated Hadoop deployment used for the
+// run's virtual-clock timings.
+type ClusterConfig = mapreduce.Cluster
+
+// DefaultCluster mirrors the paper's 8-node Amazon EMR deployment.
+var DefaultCluster = mapreduce.DefaultCluster
+
+// Cluster groups the reads with MrMC-MinH and returns per-read cluster
+// assignments plus modelled runtime.
+func Cluster(reads []Record, opt Options) (*Result, error) {
+	return core.Run(reads, opt)
+}
+
+// ReadFasta loads all records from a FASTA file on the local file system.
+func ReadFasta(path string) ([]Record, error) {
+	return fasta.ReadFile(path)
+}
+
+// ParseFasta loads all records from FASTA text on a reader.
+func ParseFasta(r io.Reader) ([]Record, error) {
+	return fasta.ReadAll(r)
+}
+
+// Evaluation holds external quality metrics for a clustering result,
+// matching the paper's reported columns.
+type Evaluation struct {
+	NumClusters int
+	// WAcc is the weighted cluster accuracy (%); valid when HasAcc.
+	WAcc   float64
+	HasAcc bool
+	// WSim is the weighted intra-cluster alignment similarity (%); valid
+	// when HasSim.
+	WSim   float64
+	HasSim bool
+	// NMI and ARI are normalized mutual information and adjusted Rand
+	// index against the ground truth; valid when HasAcc.
+	NMI float64
+	ARI float64
+}
+
+// Evaluate scores a result against optional ground-truth labels (one per
+// read, same order) and the read sequences (for alignment similarity).
+// Pass nil for either to skip that metric.
+func Evaluate(res *Result, truth []string, reads []Record) (Evaluation, error) {
+	ev := Evaluation{NumClusters: res.NumClusters()}
+	if truth != nil {
+		acc, err := metrics.WeightedAccuracy(res.Assignments, truth)
+		if err != nil {
+			return ev, err
+		}
+		ev.WAcc, ev.HasAcc = acc, true
+		if ev.NMI, err = metrics.NMI(res.Assignments, truth); err != nil {
+			return ev, err
+		}
+		if ev.ARI, err = metrics.ARI(res.Assignments, truth); err != nil {
+			return ev, err
+		}
+	}
+	if reads != nil {
+		if len(reads) != len(res.Assignments) {
+			return ev, fmt.Errorf("mrmcminh: %d reads for %d assignments", len(reads), len(res.Assignments))
+		}
+		seqs := make([][]byte, len(reads))
+		for i := range reads {
+			seqs[i] = reads[i].Seq
+		}
+		sim, ok, err := metrics.WeightedSimilarity(res.Assignments, seqs, metrics.DefaultSimilarityOptions)
+		if err != nil {
+			return ev, err
+		}
+		ev.WSim, ev.HasSim = sim, ok
+	}
+	return ev, nil
+}
+
+// EstimateJaccard estimates the Jaccard similarity between two reads from
+// n minwise hashes over k-mers — the paper's core primitive, exposed for
+// ad-hoc use.
+func EstimateJaccard(a, b Record, k, n int, seed int64) (float64, error) {
+	sk, err := minhash.NewSketcher(n, k, seed)
+	if err != nil {
+		return 0, err
+	}
+	ex, err := newExtractor(k)
+	if err != nil {
+		return 0, err
+	}
+	sa := sk.Sketch(ex.Set(a.Seq))
+	sb := sk.Sketch(ex.Set(b.Seq))
+	return minhash.MatchedPositions.Similarity(sa, sb), nil
+}
+
+// ModelRuntime reports the modelled wall time of clustering numReads reads
+// on a simulated cluster — the quantity behind the paper's Figure 2.
+func ModelRuntime(numReads int, c ClusterConfig, mode Mode, numHashes int) time.Duration {
+	return core.ModelRuntime(numReads, c, mode, numHashes)
+}

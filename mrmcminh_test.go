@@ -1,0 +1,158 @@
+package mrmcminh
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/metagenomics/mrmcminh/internal/simulate"
+)
+
+// sampleReads builds a small three-species community through the public
+// simulate package.
+func sampleReads(t *testing.T) ([]Record, []string) {
+	t.Helper()
+	spec, err := simulate.TableIISpec("S9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, truth, err := simulate.BuildWholeMetagenome(spec, 0.008, 0.005, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reads, truth
+}
+
+func TestClusterPublicAPIGreedy(t *testing.T) {
+	reads, truth := sampleReads(t)
+	res, err := Cluster(reads, Options{K: 20, NumHashes: 100, Theta: 0.3, Mode: Greedy, Canonical: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != len(reads) {
+		t.Fatalf("assignments %d for %d reads", len(res.Assignments), len(reads))
+	}
+	ev, err := Evaluate(res, truth, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.HasAcc || ev.WAcc < 90 {
+		t.Fatalf("evaluation %+v", ev)
+	}
+}
+
+func TestClusterPublicAPIHierarchical(t *testing.T) {
+	reads, truth := sampleReads(t)
+	res, err := Cluster(reads, Options{
+		K: 20, NumHashes: 100, Theta: 0.55, Mode: Hierarchical,
+		Linkage: SingleLinkage, Canonical: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(res, truth, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.HasAcc || ev.WAcc < 95 {
+		t.Fatalf("evaluation %+v", ev)
+	}
+	if res.Virtual <= 0 {
+		t.Fatal("no model time reported")
+	}
+}
+
+func TestEvaluateWithoutTruth(t *testing.T) {
+	reads, _ := sampleReads(t)
+	res, err := Cluster(reads, Options{K: 20, NumHashes: 50, Theta: 0.3, Mode: Greedy, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(res, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.HasAcc || ev.HasSim {
+		t.Fatalf("unexpected metrics %+v", ev)
+	}
+	if ev.NumClusters < 1 {
+		t.Fatal("no clusters")
+	}
+	if _, err := Evaluate(res, nil, reads[:1]); err == nil {
+		t.Fatal("read/assignment mismatch accepted")
+	}
+}
+
+func TestParseAndReadFasta(t *testing.T) {
+	recs, err := ParseFasta(strings.NewReader(">a\nACGT\n>b\nTTTT\n"))
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("recs=%v err=%v", recs, err)
+	}
+	if _, err := ReadFasta("/does/not/exist.fa"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestEstimateJaccard(t *testing.T) {
+	a := Record{ID: "a", Seq: []byte("ACGTACGTACGTACGTACGTACGT")}
+	j, err := EstimateJaccard(a, a, 8, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 1 {
+		t.Fatalf("self Jaccard %v", j)
+	}
+	b := Record{ID: "b", Seq: []byte("GGGGGGGGCCCCCCCCAAAATTTT")}
+	j, err = EstimateJaccard(a, b, 8, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j > 0.2 {
+		t.Fatalf("unrelated Jaccard %v", j)
+	}
+	if _, err := EstimateJaccard(a, b, 0, 100, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := EstimateJaccard(a, b, 8, 0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestModelRuntimePublic(t *testing.T) {
+	c := DefaultCluster
+	if ModelRuntime(100000, c, Hierarchical, 100) <= ModelRuntime(1000, c, Hierarchical, 100) {
+		t.Fatal("model not monotone in reads")
+	}
+}
+
+func TestEvaluateExternalMetrics(t *testing.T) {
+	reads, truth := sampleReads(t)
+	res, err := Cluster(reads, Options{K: 20, NumHashes: 100, Theta: 0.3, Mode: Greedy, Canonical: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(res, truth, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.HasAcc {
+		t.Fatal("no accuracy")
+	}
+	if ev.NMI <= 0 || ev.NMI > 1 {
+		t.Fatalf("NMI %v", ev.NMI)
+	}
+	if ev.ARI <= 0 || ev.ARI > 1 {
+		t.Fatalf("ARI %v", ev.ARI)
+	}
+	// A shuffled truth should drop both scores.
+	shuffled := append([]string{}, truth...)
+	for i := range shuffled {
+		shuffled[i] = truth[(i+7)%len(truth)]
+	}
+	ev2, err := Evaluate(res, shuffled, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.ARI >= ev.ARI {
+		t.Fatalf("shuffled ARI %v not below %v", ev2.ARI, ev.ARI)
+	}
+}

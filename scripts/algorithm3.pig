@@ -1,0 +1,19 @@
+-- The paper's Algorithm 3 (MrMC-MinH) as executable Pig text — identical
+-- to the canonical script embedded in the library (core.Algorithm3Script).
+-- Run with:
+--
+--   go run ./cmd/pigrun -script scripts/algorithm3.pig \
+--     -stage reads.fa=/in/reads.fa \
+--     -p INPUT=/in/reads.fa -p OUTPUT1=/out/h -p OUTPUT2=/out/g \
+--     -p KMER=15 -p NUMHASH=50 -p DIV=1073741827 -p LINK=average -p CUTOFF=0.3
+A = LOAD '$INPUT' USING FastaStorage AS (readid:chararray, d:int, seq:bytearray, header:chararray);
+B = FOREACH A GENERATE FLATTEN(StringGenerator(seq, readid)) AS (seq:chararray, seqid:chararray);
+C = FOREACH B GENERATE FLATTEN(TranslateToKmer(seq, seqid, $KMER)) AS (seqkmer:long, seqid2:chararray);
+E = FOREACH C GENERATE FLATTEN(CalculateMinwiseHash(seqkmer, seqid2, $NUMHASH, $DIV)) AS (minwise:long, seqid3:chararray);
+F = FOREACH E GENERATE FLATTEN(minwise), FLATTEN(seqid3);
+I = GROUP F ALL;
+J = FOREACH F GENERATE CalculatePairwiseSimilarity(minwise, seqid3, I.F) AS similaritymatrix:double;
+K = FOREACH J GENERATE FLATTEN(AgglomerativeHierarchicalClustering(similaritymatrix, $LINK, $NUMHASH, $CUTOFF)) AS (seqid4:chararray, clusterlabel:int);
+L = FOREACH I GENERATE FLATTEN(GreedyClustering(F, $NUMHASH, $CUTOFF)) AS (seqid5:chararray, clusterlabel:int);
+STORE K INTO '$OUTPUT1';
+STORE L INTO '$OUTPUT2';

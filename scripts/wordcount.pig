@@ -1,0 +1,14 @@
+-- Classic wordcount over the simulated Hadoop stack. Run with:
+--
+--   go run ./cmd/pigrun -script scripts/wordcount.pig \
+--     -stage input.txt=/in/text -p INPUT=/in/text -p OUTPUT=/out/counts \
+--     -dump /out/counts
+--
+-- Requires the builtin functions (pigrun registers them alongside the
+-- paper's UDFs).
+Lines = LOAD '$INPUT';
+Words = FOREACH Lines GENERATE FLATTEN(TOKENIZE(line)) AS word;
+G     = GROUP Words BY word;
+Out   = FOREACH G GENERATE group, COUNT(Words);
+Top   = ORDER Out BY f1 DESC;
+STORE Top INTO '$OUTPUT';

@@ -1,0 +1,26 @@
+package mrmcminh
+
+import "github.com/metagenomics/mrmcminh/internal/taxonomy"
+
+// Taxonomic annotation of clusters — the post-binning step: classify each
+// cluster's consensus sequence against labelled references by k-mer
+// containment, with lowest-common-ancestor backoff for ambiguous hits.
+
+// Lineage is an ordered taxonomy path, coarsest rank first.
+type Lineage = taxonomy.Lineage
+
+// TaxonomyOptions tunes the reference classifier.
+type TaxonomyOptions = taxonomy.Options
+
+// TaxonomyAssignment is one classification outcome.
+type TaxonomyAssignment = taxonomy.Assignment
+
+// TaxonomyClassifier matches sequences against labelled references.
+type TaxonomyClassifier = taxonomy.Classifier
+
+// NewTaxonomyClassifier builds an empty classifier; register references
+// with AddReference, then Classify reads or ClassifyAll consensus
+// sequences.
+func NewTaxonomyClassifier(opt TaxonomyOptions) (*TaxonomyClassifier, error) {
+	return taxonomy.NewClassifier(opt)
+}
