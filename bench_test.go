@@ -24,6 +24,9 @@ func table3Config() bench.Config {
 // BenchmarkTable3 regenerates Table III (whole-metagenome comparison of
 // MrMC-MinH^h, MrMC-MinH^g and MetaCluster) on a representative subset.
 func BenchmarkTable3(b *testing.B) {
+	if testing.Short() {
+		b.Skip("slow full-table benchmark")
+	}
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Table3(table3Config(), []string{"S1", "S9", "R1"}); err != nil {
 			b.Fatal(err)
@@ -34,6 +37,9 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkTable4 regenerates Table IV (16S simulated set at 3%/5% error,
 // all eight methods).
 func BenchmarkTable4(b *testing.B) {
+	if testing.Short() {
+		b.Skip("slow full-table benchmark")
+	}
 	cfg := bench.DefaultConfig()
 	cfg.Scale = 0.0006
 	for i := 0; i < b.N; i++ {
@@ -46,6 +52,9 @@ func BenchmarkTable4(b *testing.B) {
 // BenchmarkTable5 regenerates Table V (16S environmental samples, all
 // eight methods) on one representative sample.
 func BenchmarkTable5(b *testing.B) {
+	if testing.Short() {
+		b.Skip("slow full-table benchmark")
+	}
 	cfg := bench.DefaultConfig()
 	cfg.Scale = 0.015
 	for i := 0; i < b.N; i++ {
@@ -113,6 +122,9 @@ func BenchmarkClusterGreedy(b *testing.B) {
 
 // BenchmarkClusterHierarchical measures the public-API hierarchical path.
 func BenchmarkClusterHierarchical(b *testing.B) {
+	if testing.Short() {
+		b.Skip("slow end-to-end benchmark")
+	}
 	spec, err := simulate.TableIISpec("S1")
 	if err != nil {
 		b.Fatal(err)

@@ -22,6 +22,7 @@ import (
 
 	"github.com/metagenomics/mrmcminh/internal/bench"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
+	"github.com/metagenomics/mrmcminh/internal/trace"
 )
 
 func main() {
@@ -42,13 +43,19 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "generation seed")
 		nodes    = flag.Int("nodes", 8, "simulated cluster nodes for MrMC runs")
 		samples  = flag.String("samples", "", "comma-separated sample subset (tables 3 and 5)")
+		traceOut = flag.String("trace", "", "write a task trace of all MrMC runs here (.jsonl = JSON lines, anything else = Chrome trace_event)")
 	)
 	flag.Parse()
 
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New()
+	}
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.Cluster = mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel}
+	cfg.Trace = rec
 
 	var subset []string
 	if *samples != "" {
@@ -87,6 +94,7 @@ func run() error {
 	if *all || *figure == 2 {
 		f2 := bench.DefaultFigure2Config()
 		f2.Seed = *seed
+		f2.Trace = rec
 		points, err := bench.Figure2(f2)
 		if err != nil {
 			return err
@@ -155,6 +163,14 @@ func run() error {
 	if !ran {
 		flag.Usage()
 		return fmt.Errorf("nothing selected: pass -table, -figure, -ablation or -all")
+	}
+	if rec != nil {
+		spans := rec.Spans()
+		if err := trace.WriteFile(*traceOut, spans); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", len(spans), *traceOut)
+		fmt.Fprint(os.Stderr, trace.UtilizationSummary(spans))
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"github.com/metagenomics/mrmcminh/internal/fasta"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/metrics"
+	"github.com/metagenomics/mrmcminh/internal/trace"
 )
 
 func main() {
@@ -51,6 +52,7 @@ func run() error {
 		levels       = flag.String("levels", "", "comma-separated extra thresholds for multi-level output (hierarchical mode)")
 		otu          = flag.String("otu", "", "write an OTU table (size, abundance, representative) to this file")
 		consensusOut = flag.String("consensus", "", "write per-cluster consensus sequences to this FASTA file")
+		traceOut     = flag.String("trace", "", "write a task trace here after the run (.jsonl = JSON lines, anything else = Chrome trace_event for chrome://tracing)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -61,6 +63,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New()
+	}
 	opt := mrmcminh.Options{
 		K:         *k,
 		NumHashes: *hashes,
@@ -69,6 +75,7 @@ func run() error {
 		UseLSH:    *useLSH,
 		Seed:      *seed,
 		Cluster:   mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel},
+		Trace:     rec,
 	}
 	switch *mode {
 	case "hierarchical":
@@ -188,6 +195,15 @@ func run() error {
 		for _, lv := range lres.Levels {
 			fmt.Fprintf(os.Stderr, "level θ=%.2f: %d clusters\n", lv.Theta, lv.Assignments.NumClusters())
 		}
+	}
+
+	if rec != nil {
+		spans := rec.Spans()
+		if err := trace.WriteFile(*traceOut, spans); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", len(spans), *traceOut)
+		fmt.Fprint(os.Stderr, trace.UtilizationSummary(spans))
 	}
 	return nil
 }

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -25,8 +26,11 @@ import (
 
 	"github.com/metagenomics/mrmcminh/internal/core"
 	"github.com/metagenomics/mrmcminh/internal/dfs"
+	"github.com/metagenomics/mrmcminh/internal/fasta"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/pig"
+	"github.com/metagenomics/mrmcminh/internal/simulate"
+	"github.com/metagenomics/mrmcminh/internal/trace"
 )
 
 // paramFlags collects repeated -p NAME=VALUE flags.
@@ -67,15 +71,19 @@ func run() error {
 	params := paramFlags{}
 	var stages stageFlags
 	var (
-		scriptPath = flag.String("script", "", "Pig script file")
+		scriptPath = flag.String("script", "", "Pig script file (or pass it as the positional argument)")
 		algo3      = flag.Bool("algorithm3", false, "run the embedded Algorithm 3 script")
 		nodes      = flag.Int("nodes", 8, "simulated cluster nodes")
 		seed       = flag.Int64("seed", 1, "hash seed")
 		dump       = flag.String("dump", "", "DFS directory whose part files are printed after the run")
+		traceOut   = flag.String("trace", "", "write a task trace here after the run (.jsonl = JSON lines, anything else = Chrome trace_event for chrome://tracing)")
 	)
 	flag.Var(params, "p", "script parameter NAME=VALUE (repeatable)")
 	flag.Var(&stages, "stage", "stage a local file into the DFS: LOCAL=DFSPATH (repeatable)")
 	flag.Parse()
+	if *scriptPath == "" && !*algo3 && flag.NArg() > 0 {
+		*scriptPath = flag.Arg(0)
+	}
 
 	var src string
 	switch {
@@ -96,7 +104,13 @@ func run() error {
 		return fmt.Errorf("either -script or -algorithm3 is required")
 	}
 
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New()
+	}
+
 	fs := dfs.MustNew(dfs.Config{NumDataNodes: *nodes, BlockSize: 256 * 1024, Replication: 3})
+	fs.SetTrace(rec)
 	for _, st := range stages {
 		parts := strings.SplitN(st, "=", 2)
 		data, err := os.ReadFile(parts[0])
@@ -108,6 +122,11 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "staged %s -> dfs:%s (%d bytes)\n", parts[0], parts[1], len(data))
 	}
+	if len(stages) == 0 && params["INPUT"] == "" {
+		if err := stageDemoInput(fs, params, *seed); err != nil {
+			return err
+		}
+	}
 
 	if *algo3 {
 		// Route through the typed entry point so DIV defaulting and
@@ -116,7 +135,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err := core.RunScript(fs, mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel}, p, *seed)
+		res, err := core.RunScriptTraced(fs, mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel}, p, *seed, rec)
 		if err != nil {
 			return err
 		}
@@ -132,9 +151,11 @@ func run() error {
 		if err := pig.RegisterBuiltins(registry); err != nil {
 			return err
 		}
+		engine := mapreduce.MustEngine(mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel})
+		engine.Trace = rec
 		ctx := &pig.Context{
 			FS:       fs,
-			Engine:   mapreduce.MustEngine(mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel}),
+			Engine:   engine,
 			Registry: registry,
 			Params:   params,
 			Seed:     *seed,
@@ -159,6 +180,44 @@ func run() error {
 			}
 		}
 	}
+
+	if rec != nil {
+		spans := rec.Spans()
+		if err := trace.WriteFile(*traceOut, spans); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", len(spans), *traceOut)
+		fmt.Fprint(os.Stderr, trace.UtilizationSummary(spans))
+	}
+	return nil
+}
+
+// stageDemoInput fills the DFS with a small synthetic whole-metagenome
+// sample (Table II S1, scaled down) when the user gave neither -stage nor
+// -p INPUT, so scripts referencing $INPUT run out of the box.
+func stageDemoInput(fs *dfs.FileSystem, params paramFlags, seed int64) error {
+	spec := simulate.TableII()[0]
+	reads, _, err := simulate.BuildWholeMetagenome(spec, 0.001, 0.005, seed)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := fasta.WriteAll(&buf, reads); err != nil {
+		return err
+	}
+	if err := fs.WriteFile("/in/reads.fa", buf.Bytes()); err != nil {
+		return err
+	}
+	params["INPUT"] = "/in/reads.fa"
+	setDefault(params, "OUTPUT1", "/out/hierarchical")
+	setDefault(params, "OUTPUT2", "/out/greedy")
+	setDefault(params, "KMER", "5")
+	setDefault(params, "NUMHASH", "50")
+	setDefault(params, "DIV", "1031") // smallest prime > 4^5
+	setDefault(params, "LINK", "average")
+	setDefault(params, "CUTOFF", "0.9")
+	fmt.Fprintf(os.Stderr, "no -stage/-p INPUT given: staged %d synthetic %s reads at dfs:/in/reads.fa\n",
+		len(reads), spec.SID)
 	return nil
 }
 

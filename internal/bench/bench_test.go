@@ -43,6 +43,9 @@ func TestJaccardThresholdForIdentity(t *testing.T) {
 }
 
 func TestTable3ShapeOnS9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end table run")
+	}
 	cfg := tinyConfig()
 	// The greedy-faster-than-hierarchical model shape needs enough reads
 	// that the O(N²) similarity phase outweighs fixed job overheads —
@@ -108,6 +111,9 @@ func TestTable3UnknownSample(t *testing.T) {
 }
 
 func TestTable4AllMethodsBothErrorRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end table run")
+	}
 	cfg := tinyConfig()
 	cfg.Scale = 0.0006 // ~200 reads
 	rows, err := Table4(cfg)
@@ -225,6 +231,9 @@ func TestFigure2GridAndShape(t *testing.T) {
 }
 
 func TestAblationThetaHashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow parameter sweep")
+	}
 	cfg := tinyConfig()
 	cfg.Scale = 0.002
 	points, err := AblationThetaHashes(cfg)

@@ -9,6 +9,7 @@ import (
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/metrics"
 	"github.com/metagenomics/mrmcminh/internal/simulate"
+	"github.com/metagenomics/mrmcminh/internal/trace"
 )
 
 // Figure 2 — runtime of the hierarchical algorithm versus number of
@@ -35,6 +36,9 @@ type Figure2Config struct {
 	// ExecuteLimit is the largest read count run for real.
 	ExecuteLimit int
 	Seed         int64
+	// Trace collects spans from executed (non-modelled) points; nil
+	// disables.
+	Trace *trace.Recorder
 }
 
 // DefaultFigure2Config mirrors the paper's grid. ExecuteLimit is zero:
@@ -74,7 +78,7 @@ func Figure2(cfg Figure2Config) ([]Figure2Point, error) {
 				res, err := core.Run(rs, core.Options{
 					K: table3K, NumHashes: table3Hashes, Theta: table3Theta,
 					Mode: core.HierarchicalMode, Canonical: true,
-					Seed: cfg.Seed, Cluster: c,
+					Seed: cfg.Seed, Cluster: c, Trace: cfg.Trace,
 				})
 				if err != nil {
 					return nil, err

@@ -22,6 +22,7 @@ import (
 	"github.com/metagenomics/mrmcminh/internal/fasta"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/metrics"
+	"github.com/metagenomics/mrmcminh/internal/trace"
 )
 
 // Config tunes an experiment run.
@@ -40,6 +41,9 @@ type Config struct {
 	// clusters") but reports raw counts — dust included — in Tables IV
 	// and V.
 	TrimCounts bool
+	// Trace, when non-nil, collects job/task spans from every MrMC-MinH
+	// run in the experiment (baseline methods are not traced).
+	Trace *trace.Recorder
 }
 
 // DefaultConfig is a laptop-friendly configuration.
@@ -105,6 +109,7 @@ func Table(title string, rows []Row) string {
 
 // runMrMC executes an MrMC-MinH mode and evaluates it.
 func runMrMC(name string, reads []fasta.Record, truth []string, opt core.Options, cfg Config) (Row, error) {
+	opt.Trace = cfg.Trace
 	res, err := core.Run(reads, opt)
 	if err != nil {
 		return Row{}, fmt.Errorf("bench: %s: %w", name, err)

@@ -47,6 +47,7 @@ func RunLevels(reads []fasta.Record, opt Options, thetas []float64) (*LevelsResu
 	if err != nil {
 		return nil, err
 	}
+	engine.Trace = opt.Trace
 	res := &LevelsResult{ReadIDs: make([]string, len(reads))}
 	for i := range reads {
 		res.ReadIDs[i] = reads[i].ID
@@ -89,6 +90,7 @@ func PickRepresentatives(reads []fasta.Record, labels metrics.Clustering, opt Op
 	if err != nil {
 		return nil, err
 	}
+	engine.Trace = opt.Trace
 	sigs, _, err := sketchJob(engine, reads, opt)
 	if err != nil {
 		return nil, err

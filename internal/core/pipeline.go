@@ -11,6 +11,7 @@ import (
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/metrics"
 	"github.com/metagenomics/mrmcminh/internal/minhash"
+	"github.com/metagenomics/mrmcminh/internal/trace"
 )
 
 // Mode selects the clustering algorithm.
@@ -64,6 +65,10 @@ type Options struct {
 	Seed int64
 	// Cluster is the simulated deployment; zero uses the paper's 8 nodes.
 	Cluster mapreduce.Cluster
+	// Trace, when non-nil, receives one span per MapReduce job, task and
+	// shuffle across the pipeline's jobs. Nil (the default) disables
+	// tracing at no cost.
+	Trace *trace.Recorder
 }
 
 // withDefaults fills zero values.
@@ -134,6 +139,7 @@ func Run(reads []fasta.Record, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	engine.Trace = opt.Trace
 	res := &Result{ReadIDs: make([]string, len(reads))}
 	for i := range reads {
 		res.ReadIDs[i] = reads[i].ID

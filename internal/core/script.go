@@ -9,6 +9,7 @@ import (
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/metrics"
 	"github.com/metagenomics/mrmcminh/internal/pig"
+	"github.com/metagenomics/mrmcminh/internal/trace"
 )
 
 // Algorithm3Script is the paper's Pig pipeline (Algorithm 3), verbatim in
@@ -79,6 +80,12 @@ func nextPrimeAbove(n uint64) uint64 {
 // RunScript executes the paper's Algorithm 3 against the given DFS and
 // simulated cluster.
 func RunScript(fs *dfs.FileSystem, clusterCfg mapreduce.Cluster, p ScriptParams, seed int64) (*ScriptResult, error) {
+	return RunScriptTraced(fs, clusterCfg, p, seed, nil)
+}
+
+// RunScriptTraced is RunScript with an optional span recorder attached to
+// both the DFS and the MapReduce engine; pass nil to run untraced.
+func RunScriptTraced(fs *dfs.FileSystem, clusterCfg mapreduce.Cluster, p ScriptParams, seed int64, rec *trace.Recorder) (*ScriptResult, error) {
 	if p.K < 1 {
 		return nil, fmt.Errorf("core: script needs KMER >= 1")
 	}
@@ -96,6 +103,10 @@ func RunScript(fs *dfs.FileSystem, clusterCfg mapreduce.Cluster, p ScriptParams,
 	engine, err := mapreduce.NewEngine(clusterCfg)
 	if err != nil {
 		return nil, err
+	}
+	engine.Trace = rec
+	if rec.Enabled() {
+		fs.SetTrace(rec)
 	}
 	ctx := &pig.Context{
 		FS:       fs,

@@ -3,6 +3,8 @@ package dfs
 import (
 	"fmt"
 	"sort"
+
+	"github.com/metagenomics/mrmcminh/internal/trace"
 )
 
 // Failure injection — HDFS's defining behaviour is surviving datanode
@@ -145,6 +147,17 @@ func (fs *FileSystem) ReReplicate() (int, error) {
 				liveHosts = append(liveHosts, node)
 				fs.stats.BytesWritten += int64(len(data))
 				created++
+				if fs.trace.Enabled() {
+					fs.trace.Emit(trace.Span{
+						Kind:   trace.KindReplicate,
+						Name:   "dfs.replicate",
+						Node:   node,
+						Bytes:  int64(len(data)),
+						Detail: fmt.Sprintf("%s block %d", path, bi),
+						VStart: fs.trace.VirtualNow(),
+						RStart: fs.trace.RealNow(),
+					})
+				}
 			}
 			blk.Replicas = liveHosts
 		}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"github.com/metagenomics/mrmcminh/internal/trace"
 )
 
 // Config sizes the simulated file system.
@@ -47,6 +49,7 @@ type FileSystem struct {
 	stats     Stats
 	dead      map[int]bool       // failed datanodes (see failure.go)
 	checksums map[BlockID]uint32 // per-block CRC32C (see checksum.go)
+	trace     *trace.Recorder    // nil = tracing disabled
 }
 
 // New creates a file system with the given configuration.
@@ -86,6 +89,15 @@ func MustNew(cfg Config) *FileSystem {
 // Config returns the file system configuration.
 func (fs *FileSystem) Config() Config { return fs.cfg }
 
+// SetTrace attaches a span recorder: every block read, block write and
+// re-replication copy emits one event. Pass nil to disable (the default);
+// a disabled recorder costs nothing on the I/O paths.
+func (fs *FileSystem) SetTrace(r *trace.Recorder) {
+	fs.mu.Lock()
+	fs.trace = r
+	fs.mu.Unlock()
+}
+
 // WriteFile stores data at path, replacing any existing file. Data is
 // split into blocks placed round-robin with replication.
 func (fs *FileSystem) WriteFile(path string, data []byte) error {
@@ -117,6 +129,21 @@ func (fs *FileSystem) WriteFile(path string, data []byte) error {
 			placed++
 		}
 		fs.stats.BlocksWritten++
+		if fs.trace.Enabled() {
+			node := -1
+			if len(blk.Replicas) > 0 {
+				node = blk.Replicas[0]
+			}
+			fs.trace.Emit(trace.Span{
+				Kind:   trace.KindDFSWrite,
+				Name:   "dfs.write",
+				Node:   node,
+				Bytes:  int64(len(chunk) * placed),
+				Detail: path,
+				VStart: fs.trace.VirtualNow(),
+				RStart: fs.trace.RealNow(),
+			})
+		}
 		fs.nextNode = (fs.nextNode + 1) % len(fs.nodes)
 		blocks = append(blocks, blk)
 		if len(data) == 0 {
@@ -137,7 +164,7 @@ func (fs *FileSystem) ReadFile(path string) ([]byte, error) {
 	}
 	var buf bytes.Buffer
 	for _, blk := range blocks {
-		data, err := fs.readBlockLocked(blk, -1)
+		data, err := fs.readBlockLocked(path, blk, -1)
 		if err != nil {
 			return nil, err
 		}
@@ -159,7 +186,7 @@ func (fs *FileSystem) ReadBlock(path string, index int, nearNode int) ([]byte, b
 		return nil, false, fmt.Errorf("dfs: block index %d out of range for %q (%d blocks)", index, path, len(blocks))
 	}
 	blk := blocks[index]
-	data, err := fs.readBlockLocked(blk, nearNode)
+	data, err := fs.readBlockLocked(path, blk, nearNode)
 	if err != nil {
 		return nil, false, err
 	}
@@ -168,7 +195,7 @@ func (fs *FileSystem) ReadBlock(path string, index int, nearNode int) ([]byte, b
 }
 
 // readBlockLocked fetches block data from the best replica.
-func (fs *FileSystem) readBlockLocked(blk Block, nearNode int) ([]byte, error) {
+func (fs *FileSystem) readBlockLocked(path string, blk Block, nearNode int) ([]byte, error) {
 	order := blk.Replicas
 	if nearNode >= 0 && hasReplica(blk, nearNode) {
 		order = append([]int{nearNode}, blk.Replicas...)
@@ -185,10 +212,23 @@ func (fs *FileSystem) readBlockLocked(blk Block, nearNode int) ([]byte, error) {
 			}
 			fs.stats.BlocksRead++
 			fs.stats.BytesRead += int64(len(data))
+			locality := "remote"
 			if nearNode >= 0 && node == nearNode {
 				fs.stats.LocalReads++
+				locality = "local"
 			} else {
 				fs.stats.RemoteReads++
+			}
+			if fs.trace.Enabled() {
+				fs.trace.Emit(trace.Span{
+					Kind:   trace.KindDFSRead,
+					Name:   "dfs.read." + locality,
+					Node:   node,
+					Bytes:  int64(len(data)),
+					Detail: path,
+					VStart: fs.trace.VirtualNow(),
+					RStart: fs.trace.RealNow(),
+				})
 			}
 			return data, nil
 		}

@@ -1,0 +1,101 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/metagenomics/mrmcminh/internal/trace"
+)
+
+// TestFileSystemTraceSpans checks block writes, local/remote reads and
+// re-replication all emit spans carrying node ids, byte counts and paths.
+func TestFileSystemTraceSpans(t *testing.T) {
+	fs := MustNew(Config{NumDataNodes: 4, BlockSize: 8, Replication: 2})
+	rec := trace.New()
+	fs.SetTrace(rec)
+
+	data := bytes.Repeat([]byte("x"), 20) // 3 blocks
+	if err := fs.WriteFile("/t/file", data); err != nil {
+		t.Fatal(err)
+	}
+	writes := spansOf(rec, trace.KindDFSWrite)
+	if len(writes) != 3 {
+		t.Fatalf("got %d write spans, want 3", len(writes))
+	}
+	var written int64
+	for _, s := range writes {
+		if s.Detail != "/t/file" {
+			t.Fatalf("write span detail = %q", s.Detail)
+		}
+		if s.Node < 0 {
+			t.Fatalf("write span has no node: %+v", s)
+		}
+		written += s.Bytes
+	}
+	if want := fs.Stats().BytesWritten; written != want {
+		t.Fatalf("write spans carry %d bytes, stats say %d", written, want)
+	}
+
+	if _, err := fs.ReadFile("/t/file"); err != nil {
+		t.Fatal(err)
+	}
+	reads := spansOf(rec, trace.KindDFSRead)
+	if len(reads) != 3 {
+		t.Fatalf("got %d read spans, want 3", len(reads))
+	}
+
+	// A near-node read reports locality in the span name.
+	blocks, err := fs.Blocks("/t/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := blocks[0].Replicas[0]
+	if _, _, err := fs.ReadBlock("/t/file", 0, near); err != nil {
+		t.Fatal(err)
+	}
+	reads = spansOf(rec, trace.KindDFSRead)
+	if got := reads[len(reads)-1].Name; got != "dfs.read.local" {
+		t.Fatalf("near read span name = %q, want dfs.read.local", got)
+	}
+
+	// Killing a node and re-replicating emits replicate spans.
+	if err := fs.KillDataNode(near); err != nil {
+		t.Fatal(err)
+	}
+	created, err := fs.ReReplicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := spansOf(rec, trace.KindReplicate)
+	if len(reps) != created {
+		t.Fatalf("got %d replicate spans for %d created replicas", len(reps), created)
+	}
+	for _, s := range reps {
+		if s.Node == near {
+			t.Fatalf("replicated onto dead node %d", near)
+		}
+	}
+}
+
+// TestFileSystemUntraced ensures the default (no recorder) path works and
+// records nothing.
+func TestFileSystemUntraced(t *testing.T) {
+	fs := MustNew(Config{NumDataNodes: 2, BlockSize: 16, Replication: 1})
+	if err := fs.WriteFile("/a", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("/a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// spansOf filters a recorder's spans by kind.
+func spansOf(rec *trace.Recorder, kind trace.Kind) []trace.Span {
+	var out []trace.Span
+	for _, s := range rec.Spans() {
+		if s.Kind == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -81,14 +81,35 @@ type TaskCost struct {
 	PreferredHosts []int
 }
 
-// Makespan schedules task costs onto the cluster's slots greedily (each
+// TaskPlacement records where and when the virtual scheduler ran one
+// task — the per-task timeline a Hadoop JobTracker would report.
+type TaskPlacement struct {
+	// Task indexes into the scheduled []TaskCost.
+	Task int
+	// Node and Slot locate the simulated machine (Node = Slot/SlotsPerNode).
+	Node int
+	Slot int
+	// Start and End bound the task on the phase-relative virtual clock.
+	Start time.Duration
+	End   time.Duration
+}
+
+// Makespan schedules task costs onto the cluster's slots and returns the
+// finishing time of the last task.
+func (c Cluster) Makespan(tasks []TaskCost) time.Duration {
+	_, makespan := c.Schedule(tasks)
+	return makespan
+}
+
+// Schedule assigns task costs onto the cluster's slots greedily (each
 // task goes to the slot that frees up first, preferring slots on a host in
 // PreferredHosts when the choice is otherwise idle-equal) and returns the
-// finishing time of the last task. This is the virtual-clock analogue of
-// Hadoop's wave scheduling.
-func (c Cluster) Makespan(tasks []TaskCost) time.Duration {
+// per-task placements, ordered by task index, plus the makespan. This is
+// the virtual-clock analogue of Hadoop's wave scheduling; the placements
+// feed the trace recorder's task timeline.
+func (c Cluster) Schedule(tasks []TaskCost) ([]TaskPlacement, time.Duration) {
 	if len(tasks) == 0 {
-		return 0
+		return nil, 0
 	}
 	slots := make([]time.Duration, c.TotalSlots())
 	// Longest-processing-time order stabilizes the estimate across input
@@ -101,6 +122,7 @@ func (c Cluster) Makespan(tasks []TaskCost) time.Duration {
 	sort.SliceStable(order, func(a, b int) bool {
 		return tasks[order[a]].Duration > tasks[order[b]].Duration
 	})
+	placements := make([]TaskPlacement, len(tasks))
 	var makespan time.Duration
 	for _, ti := range order {
 		t := tasks[ti]
@@ -114,12 +136,19 @@ func (c Cluster) Makespan(tasks []TaskCost) time.Duration {
 				best = s
 			}
 		}
+		placements[ti] = TaskPlacement{
+			Task:  ti,
+			Node:  best / c.SlotsPerNode,
+			Slot:  best,
+			Start: slots[best],
+			End:   slots[best] + d,
+		}
 		slots[best] += d
 		if slots[best] > makespan {
 			makespan = slots[best]
 		}
 	}
-	return makespan
+	return placements, makespan
 }
 
 // effectiveDuration applies the straggler model to task ti. Stragglers

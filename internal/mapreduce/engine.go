@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/metagenomics/mrmcminh/internal/trace"
 )
 
 // Result is the outcome of one job.
@@ -28,8 +30,16 @@ type Result struct {
 type Engine struct {
 	Cluster Cluster
 	// Workers caps real goroutine parallelism; 0 means
-	// min(GOMAXPROCS, cluster slots).
+	// min(GOMAXPROCS, cluster slots). Run snapshots this value once at
+	// entry: mutating Workers while a job is in flight does not affect
+	// that job, only jobs started afterwards. (Counters needs no such
+	// guard — it is mutex-protected and owned per Run call.)
 	Workers int
+	// Trace, when non-nil, receives one span per job, map task, combine,
+	// shuffle partition transfer, sort and reduce task on the virtual
+	// cluster timeline. A nil recorder costs nothing (all emission is
+	// guarded, and trace methods are nil-safe no-ops).
+	Trace *trace.Recorder
 }
 
 // NewEngine returns an engine for the cluster.
@@ -49,7 +59,8 @@ func MustEngine(c Cluster) *Engine {
 	return e
 }
 
-// workerCount resolves the real parallelism.
+// workerCount resolves the real parallelism from the Workers field. Run
+// calls this exactly once per job (see the Workers invariant above).
 func (e *Engine) workerCount() int {
 	w := e.Workers
 	if w <= 0 {
@@ -70,6 +81,10 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
+	// Snapshot the parallelism once: Workers may be reconfigured between
+	// jobs, never observed mid-job.
+	workers := e.workerCount()
+	rec := e.Trace
 	splits, err := job.Input.Splits()
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: job %q input: %w", job.Name, err)
@@ -84,13 +99,31 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		part = DefaultPartition
 	}
 
+	jobRef := rec.Begin(trace.KindJob, job.Name)
+	defer rec.End(jobRef)
+	// vbase anchors this job's task spans on the recorder's virtual clock.
+	vbase := rec.VirtualNow()
+
 	// ----- Map phase -----
 	mapOuts := make([][]KeyValue, len(splits)) // per map task output
 	var mapCosts []TaskCost
 	for _, sp := range splits {
 		mapCosts = append(mapCosts, e.Cluster.mapTaskCost(sp, job.MapCostFactor))
 	}
-	if err := e.parallel(len(splits), func(ti int) error {
+	// Per-task real durations and combine stats, recorded only when
+	// tracing (indexed by task, so no locking needed).
+	var mapReal, combineReal []time.Duration
+	var combineOut []int64
+	if rec.Enabled() {
+		mapReal = make([]time.Duration, len(splits))
+		combineReal = make([]time.Duration, len(splits))
+		combineOut = make([]int64, len(splits))
+	}
+	if err := e.parallel(workers, len(splits), func(ti int) error {
+		var t0 time.Time
+		if rec.Enabled() {
+			t0 = time.Now()
+		}
 		sp := splits[ti]
 		var out []KeyValue
 		emit := func(kv KeyValue) { out = append(out, kv) }
@@ -101,17 +134,56 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		}
 		counters.Add(CounterMapInputRecords, int64(len(sp.Records)))
 		counters.Add(CounterMapOutputRecords, int64(len(out)))
+		if rec.Enabled() {
+			mapReal[ti] = time.Since(t0)
+			t0 = time.Now()
+		}
 		if job.Combine != nil {
 			combined, err := e.combine(job, out, counters)
 			if err != nil {
 				return err
 			}
 			out = combined
+			if rec.Enabled() {
+				combineReal[ti] = time.Since(t0)
+				combineOut[ti] = int64(len(combined))
+			}
 		}
 		mapOuts[ti] = out
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+
+	mapPlacements, mapMakespan := e.Cluster.Schedule(mapCosts)
+	mapStart := vbase + e.Cluster.Cost.JobStartup
+	if rec.Enabled() {
+		for _, pl := range mapPlacements {
+			sp := splits[pl.Task]
+			rec.Emit(trace.Span{
+				Parent:  jobRef.ID,
+				Kind:    trace.KindMap,
+				Name:    fmt.Sprintf("%s/map[%d]", job.Name, pl.Task),
+				Node:    pl.Node,
+				Records: int64(len(sp.Records)),
+				Bytes:   int64(sp.Bytes),
+				VStart:  mapStart + pl.Start,
+				VDur:    pl.End - pl.Start,
+				RStart:  rec.RealNow(),
+				RDur:    mapReal[pl.Task],
+			})
+			if job.Combine != nil {
+				rec.Emit(trace.Span{
+					Parent:  jobRef.ID,
+					Kind:    trace.KindCombine,
+					Name:    fmt.Sprintf("%s/combine[%d]", job.Name, pl.Task),
+					Node:    pl.Node,
+					Records: combineOut[pl.Task],
+					VStart:  mapStart + pl.End,
+					RDur:    combineReal[pl.Task],
+				})
+			}
+		}
 	}
 
 	// Map-only job: concatenate map outputs in input order.
@@ -123,10 +195,11 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		res := &Result{
 			Output:   output,
 			Counters: counters,
-			Virtual:  e.Cluster.Cost.JobStartup + e.Cluster.Makespan(mapCosts),
+			Virtual:  e.Cluster.Cost.JobStartup + mapMakespan,
 			Real:     time.Since(start),
 			MapTasks: len(splits),
 		}
+		rec.AdvanceVirtual(res.Virtual)
 		return res, nil
 	}
 
@@ -153,7 +226,15 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	for p := range partitions {
 		reduceCosts = append(reduceCosts, e.Cluster.reduceTaskCost(len(partitions[p]), shuffleBytes[p], job.ReduceCostFactor))
 	}
-	if err := e.parallel(numRed, func(p int) error {
+	var reduceReal []time.Duration
+	if rec.Enabled() {
+		reduceReal = make([]time.Duration, numRed)
+	}
+	if err := e.parallel(workers, numRed, func(p int) error {
+		var t0 time.Time
+		if rec.Enabled() {
+			t0 = time.Now()
+		}
 		recs := partitions[p]
 		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
 		var out []KeyValue
@@ -176,9 +257,58 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		}
 		counters.Add(CounterReduceOutput, int64(len(out)))
 		reduceOuts[p] = out
+		if rec.Enabled() {
+			reduceReal[p] = time.Since(t0)
+		}
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+
+	reducePlacements, reduceMakespan := e.Cluster.Schedule(reduceCosts)
+	if rec.Enabled() {
+		reduceStart := mapStart + mapMakespan
+		for _, pl := range reducePlacements {
+			p := pl.Task
+			id := rec.Emit(trace.Span{
+				Parent:  jobRef.ID,
+				Kind:    trace.KindReduce,
+				Name:    fmt.Sprintf("%s/reduce[%d]", job.Name, p),
+				Node:    pl.Node,
+				Records: int64(len(partitions[p])),
+				Bytes:   int64(shuffleBytes[p]),
+				VStart:  reduceStart + pl.Start,
+				VDur:    pl.End - pl.Start,
+				RStart:  rec.RealNow(),
+				RDur:    reduceReal[p],
+			})
+			// The reduce window models startup, then the shuffle transfer
+			// of this partition's bytes, then sort + reduce compute. Emit
+			// the transfer as a child interval and the sort as an instant
+			// marker at its end, mirroring Hadoop's task phases.
+			shufDur := time.Duration(float64(shuffleBytes[p]) * float64(e.Cluster.Cost.ShufflePerByte))
+			if window := pl.End - pl.Start - e.Cluster.Cost.TaskStartup; shufDur > window && window > 0 {
+				shufDur = window
+			}
+			shufStart := reduceStart + pl.Start + e.Cluster.Cost.TaskStartup
+			rec.Emit(trace.Span{
+				Parent: id,
+				Kind:   trace.KindShuffle,
+				Name:   fmt.Sprintf("%s/shuffle[%d]", job.Name, p),
+				Node:   pl.Node,
+				Bytes:  int64(shuffleBytes[p]),
+				VStart: shufStart,
+				VDur:   shufDur,
+			})
+			rec.Emit(trace.Span{
+				Parent:  id,
+				Kind:    trace.KindSort,
+				Name:    fmt.Sprintf("%s/sort[%d]", job.Name, p),
+				Node:    pl.Node,
+				Records: int64(len(partitions[p])),
+				VStart:  shufStart + shufDur,
+			})
+		}
 	}
 
 	var output []KeyValue
@@ -188,11 +318,12 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	res := &Result{
 		Output:     output,
 		Counters:   counters,
-		Virtual:    e.Cluster.Cost.JobStartup + e.Cluster.Makespan(mapCosts) + e.Cluster.Makespan(reduceCosts),
+		Virtual:    e.Cluster.Cost.JobStartup + mapMakespan + reduceMakespan,
 		Real:       time.Since(start),
 		MapTasks:   len(splits),
 		ReduceTask: numRed,
 	}
+	rec.AdvanceVirtual(res.Virtual)
 	return res, nil
 }
 
@@ -220,13 +351,12 @@ func (e *Engine) combine(job *Job, out []KeyValue, counters *Counters) ([]KeyVal
 	return combined, nil
 }
 
-// parallel runs fn(0..n-1) on the engine's worker pool, stopping at the
-// first error.
-func (e *Engine) parallel(n int, fn func(int) error) error {
+// parallel runs fn(0..n-1) on a worker pool of the given size, stopping at
+// the first error.
+func (e *Engine) parallel(workers, n int, fn func(int) error) error {
 	if n == 0 {
 		return nil
 	}
-	workers := e.workerCount()
 	if workers > n {
 		workers = n
 	}

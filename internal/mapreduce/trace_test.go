@@ -1,0 +1,221 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/metagenomics/mrmcminh/internal/trace"
+)
+
+// wordJob builds a small full-MR job (word count) over n records.
+func wordJob(n int) *Job {
+	records := make([]KeyValue, n)
+	for i := range records {
+		records[i] = KeyValue{Key: fmt.Sprint(i), Value: fmt.Sprintf("w%d", i%7)}
+	}
+	return &Job{
+		Name:  "wordcount",
+		Input: MemoryInput{Records: records, SplitSize: 8},
+		Map: func(kv KeyValue, emit func(KeyValue)) error {
+			emit(KeyValue{Key: kv.Value.(string), Value: 1})
+			return nil
+		},
+		Combine: func(key string, values []any, emit func(KeyValue)) error {
+			emit(KeyValue{Key: key, Value: len(values)})
+			return nil
+		},
+		Reduce: func(key string, values []any, emit func(KeyValue)) error {
+			total := 0
+			for _, v := range values {
+				total += v.(int)
+			}
+			emit(KeyValue{Key: key, Value: total})
+			return nil
+		},
+	}
+}
+
+// TestEngineTraceSpans runs a traced job and checks the span set: one job
+// span, one map span per split with a node placement, shuffle/sort/reduce
+// spans per partition, and virtual-time consistency with Result.Virtual.
+func TestEngineTraceSpans(t *testing.T) {
+	c := Cluster{Nodes: 4, SlotsPerNode: 2, Cost: DefaultCostModel}
+	e := MustEngine(c)
+	rec := trace.New()
+	e.Trace = rec
+
+	res, err := e.Run(wordJob(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := rec.Spans()
+	byKind := map[trace.Kind][]trace.Span{}
+	for _, s := range spans {
+		byKind[s.Kind] = append(byKind[s.Kind], s)
+	}
+	if len(byKind[trace.KindJob]) != 1 {
+		t.Fatalf("got %d job spans, want 1", len(byKind[trace.KindJob]))
+	}
+	job := byKind[trace.KindJob][0]
+	if job.VDur != res.Virtual {
+		t.Fatalf("job span VDur = %v, Result.Virtual = %v", job.VDur, res.Virtual)
+	}
+	if got := len(byKind[trace.KindMap]); got != res.MapTasks {
+		t.Fatalf("got %d map spans, want %d", got, res.MapTasks)
+	}
+	if got := len(byKind[trace.KindCombine]); got != res.MapTasks {
+		t.Fatalf("got %d combine spans, want %d", got, res.MapTasks)
+	}
+	for _, k := range []trace.Kind{trace.KindReduce, trace.KindShuffle, trace.KindSort} {
+		if got := len(byKind[k]); got != res.ReduceTask {
+			t.Fatalf("got %d %v spans, want %d", got, k, res.ReduceTask)
+		}
+	}
+	var records int64
+	for _, s := range byKind[trace.KindMap] {
+		if s.Parent != job.ID {
+			t.Fatalf("map span parent = %d, want job %d", s.Parent, job.ID)
+		}
+		if s.Node < 0 || s.Node >= c.Nodes {
+			t.Fatalf("map span node %d out of range", s.Node)
+		}
+		if end := s.VStart + s.VDur; end > job.VStart+job.VDur {
+			t.Fatalf("map span ends at %v, after job end %v", end, job.VStart+job.VDur)
+		}
+		records += s.Records
+	}
+	if records != 64 {
+		t.Fatalf("map spans carry %d records, want 64", records)
+	}
+	var shuffled int64
+	for _, s := range byKind[trace.KindShuffle] {
+		shuffled += s.Bytes
+	}
+	if want := res.Counters.Get(CounterShuffleBytes); shuffled != want {
+		t.Fatalf("shuffle spans carry %d bytes, counters say %d", shuffled, want)
+	}
+	// The recorder's virtual clock advanced by exactly the job's duration.
+	if got := rec.VirtualNow(); got != res.Virtual {
+		t.Fatalf("virtual clock = %v, want %v", got, res.Virtual)
+	}
+
+	// A second job stacks after the first on the virtual timeline.
+	res2, err := e.Run(wordJob(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans = rec.Spans()
+	last := spans[len(spans)-1]
+	var job2 trace.Span
+	for _, s := range spans {
+		if s.Kind == trace.KindJob && s.ID != job.ID {
+			job2 = s
+		}
+	}
+	if job2.VStart != res.Virtual {
+		t.Fatalf("second job starts at %v, want %v", job2.VStart, res.Virtual)
+	}
+	if got := rec.VirtualNow(); got != res.Virtual+res2.Virtual {
+		t.Fatalf("virtual clock = %v, want %v", got, res.Virtual+res2.Virtual)
+	}
+	_ = last
+
+	// The utilization summary sees the node-attributed task spans.
+	sum := trace.UtilizationSummary(spans)
+	if !strings.Contains(sum, "node") {
+		t.Fatalf("summary missing node rows:\n%s", sum)
+	}
+}
+
+// TestEngineTraceMapOnly checks the map-only job path emits no reduce-side
+// spans.
+func TestEngineTraceMapOnly(t *testing.T) {
+	e := MustEngine(Cluster{Nodes: 2, SlotsPerNode: 2, Cost: DefaultCostModel})
+	rec := trace.New()
+	e.Trace = rec
+	job := wordJob(10)
+	job.Combine, job.Reduce = nil, nil
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rec.Spans() {
+		switch s.Kind {
+		case trace.KindReduce, trace.KindShuffle, trace.KindSort, trace.KindCombine:
+			t.Fatalf("map-only job emitted %v span %q", s.Kind, s.Name)
+		}
+	}
+	if got := rec.VirtualNow(); got != res.Virtual {
+		t.Fatalf("virtual clock = %v, want %v", got, res.Virtual)
+	}
+}
+
+// TestEngineUntracedUnchanged pins the disabled-trace path: identical
+// results and no spans.
+func TestEngineUntracedUnchanged(t *testing.T) {
+	e := MustEngine(Cluster{Nodes: 4, SlotsPerNode: 2, Cost: DefaultCostModel})
+	res, err := e.Run(wordJob(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	et := MustEngine(Cluster{Nodes: 4, SlotsPerNode: 2, Cost: DefaultCostModel})
+	et.Trace = trace.New()
+	res2, err := et.Run(wordJob(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Virtual != res2.Virtual {
+		t.Fatalf("tracing changed Virtual: %v vs %v", res.Virtual, res2.Virtual)
+	}
+	if len(res.Output) != len(res2.Output) {
+		t.Fatalf("tracing changed output size: %d vs %d", len(res.Output), len(res2.Output))
+	}
+}
+
+// TestScheduleMatchesMakespan pins the Schedule/Makespan refactor: the
+// placements' latest End equals the reported makespan, placements cover
+// every task exactly once, and no slot runs two tasks at once.
+func TestScheduleMatchesMakespan(t *testing.T) {
+	c := Cluster{Nodes: 3, SlotsPerNode: 2, Cost: DefaultCostModel}
+	var tasks []TaskCost
+	for i := 0; i < 17; i++ {
+		tasks = append(tasks, TaskCost{Duration: time.Duration(i%5+1) * time.Second, PreferredHosts: []int{i % 3}})
+	}
+	placements, makespan := c.Schedule(tasks)
+	if got := c.Makespan(tasks); got != makespan {
+		t.Fatalf("Makespan = %v, Schedule makespan = %v", got, makespan)
+	}
+	if len(placements) != len(tasks) {
+		t.Fatalf("got %d placements, want %d", len(placements), len(tasks))
+	}
+	var latest time.Duration
+	perSlot := map[int][]TaskPlacement{}
+	for i, pl := range placements {
+		if pl.Task != i {
+			t.Fatalf("placement %d has Task %d (want index order)", i, pl.Task)
+		}
+		if pl.End > latest {
+			latest = pl.End
+		}
+		if pl.Node != pl.Slot/c.SlotsPerNode {
+			t.Fatalf("placement node %d inconsistent with slot %d", pl.Node, pl.Slot)
+		}
+		perSlot[pl.Slot] = append(perSlot[pl.Slot], pl)
+	}
+	if latest != makespan {
+		t.Fatalf("latest placement end %v != makespan %v", latest, makespan)
+	}
+	for slot, pls := range perSlot {
+		for i := range pls {
+			for j := i + 1; j < len(pls); j++ {
+				a, b := pls[i], pls[j]
+				if a.Start < b.End && b.Start < a.End {
+					t.Fatalf("slot %d runs tasks %d and %d concurrently", slot, a.Task, b.Task)
+				}
+			}
+		}
+	}
+}

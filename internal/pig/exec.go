@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
+	"github.com/metagenomics/mrmcminh/internal/trace"
 )
 
 // Script is a compiled Pig program.
@@ -34,94 +35,138 @@ func MustCompile(src string) *Script {
 
 // Run executes the script statement by statement, launching one MapReduce
 // job per FOREACH/GROUP (Pig's one-operator-one-job compilation for linear
-// scripts) and accumulating the simulated cluster time.
+// scripts) and accumulating the simulated cluster time. When the engine
+// carries a trace recorder, every logical operator opens a span that the
+// jobs it launches nest under, so the whole script renders as one
+// timeline.
 func (s *Script) Run(ctx *Context) (*RunResult, error) {
 	if ctx.FS == nil || ctx.Engine == nil || ctx.Registry == nil {
 		return nil, fmt.Errorf("pig: context requires FS, Engine and Registry")
 	}
 	start := time.Now()
+	rec := ctx.Engine.Trace
 	ex := &executor{ctx: ctx, aliases: make(map[string]*Relation)}
 	res := &RunResult{Aliases: ex.aliases, Stored: make(map[string]string), Dumps: make(map[string][]string)}
 	for _, st := range s.stmts {
-		switch t := st.(type) {
-		case *LoadStmt:
-			if err := ex.load(t); err != nil {
-				return nil, err
-			}
-		case *ForeachStmt:
-			virt, err := ex.foreach(t)
-			if err != nil {
-				return nil, err
-			}
-			res.Virtual += virt
-			res.Jobs++
-		case *GroupStmt:
-			virt, err := ex.group(t)
-			if err != nil {
-				return nil, err
-			}
-			res.Virtual += virt
-			res.Jobs++
-		case *StoreStmt:
-			path, err := ex.store(t)
-			if err != nil {
-				return nil, err
-			}
-			res.Stored[t.Input] = path
-		case *FilterStmt:
-			virt, err := ex.filter(t)
-			if err != nil {
-				return nil, err
-			}
-			res.Virtual += virt
-			res.Jobs++
-		case *DistinctStmt:
-			virt, err := ex.distinct(t)
-			if err != nil {
-				return nil, err
-			}
-			res.Virtual += virt
-			res.Jobs++
-		case *LimitStmt:
-			if err := ex.limit(t); err != nil {
-				return nil, err
-			}
-		case *UnionStmt:
-			if err := ex.union(t); err != nil {
-				return nil, err
-			}
-		case *OrderStmt:
-			virt, err := ex.order(t)
-			if err != nil {
-				return nil, err
-			}
-			res.Virtual += virt
-			res.Jobs++
-		case *DumpStmt:
-			if err := ex.dump(t, res); err != nil {
-				return nil, err
-			}
-		case *JoinStmt:
-			virt, err := ex.join(t)
-			if err != nil {
-				return nil, err
-			}
-			res.Virtual += virt
-			res.Jobs++
-		case *DescribeStmt:
-			if err := ex.describe(t, res); err != nil {
-				return nil, err
-			}
-		case *SampleStmt:
-			if err := ex.sample(t); err != nil {
-				return nil, err
-			}
-		default:
-			return nil, fmt.Errorf("pig: unsupported statement %T", st)
+		var ref trace.SpanRef
+		if rec.Enabled() {
+			ref = rec.Begin(trace.KindPigOp, stmtLabel(st))
+		}
+		err := ex.execStmt(st, res)
+		rec.End(ref)
+		if err != nil {
+			return nil, err
 		}
 	}
 	res.Real = time.Since(start)
 	return res, nil
+}
+
+// execStmt dispatches one statement, accumulating job counts and modelled
+// time into res.
+func (ex *executor) execStmt(st Stmt, res *RunResult) error {
+	switch t := st.(type) {
+	case *LoadStmt:
+		return ex.load(t)
+	case *ForeachStmt:
+		virt, err := ex.foreach(t)
+		if err != nil {
+			return err
+		}
+		res.Virtual += virt
+		res.Jobs++
+	case *GroupStmt:
+		virt, err := ex.group(t)
+		if err != nil {
+			return err
+		}
+		res.Virtual += virt
+		res.Jobs++
+	case *StoreStmt:
+		path, err := ex.store(t)
+		if err != nil {
+			return err
+		}
+		res.Stored[t.Input] = path
+	case *FilterStmt:
+		virt, err := ex.filter(t)
+		if err != nil {
+			return err
+		}
+		res.Virtual += virt
+		res.Jobs++
+	case *DistinctStmt:
+		virt, err := ex.distinct(t)
+		if err != nil {
+			return err
+		}
+		res.Virtual += virt
+		res.Jobs++
+	case *LimitStmt:
+		return ex.limit(t)
+	case *UnionStmt:
+		return ex.union(t)
+	case *OrderStmt:
+		virt, err := ex.order(t)
+		if err != nil {
+			return err
+		}
+		res.Virtual += virt
+		res.Jobs++
+	case *DumpStmt:
+		return ex.dump(t, res)
+	case *JoinStmt:
+		virt, err := ex.join(t)
+		if err != nil {
+			return err
+		}
+		res.Virtual += virt
+		res.Jobs++
+	case *DescribeStmt:
+		return ex.describe(t, res)
+	case *SampleStmt:
+		return ex.sample(t)
+	default:
+		return fmt.Errorf("pig: unsupported statement %T", st)
+	}
+	return nil
+}
+
+// stmtLabel names a statement for its trace span, Pig-source style.
+func stmtLabel(st Stmt) string {
+	switch t := st.(type) {
+	case *LoadStmt:
+		return fmt.Sprintf("%s = LOAD '%s'", t.Alias, t.Path)
+	case *ForeachStmt:
+		return fmt.Sprintf("%s = FOREACH %s", t.Alias, t.Input)
+	case *GroupStmt:
+		if t.All {
+			return fmt.Sprintf("%s = GROUP %s ALL", t.Alias, t.Input)
+		}
+		return fmt.Sprintf("%s = GROUP %s", t.Alias, t.Input)
+	case *StoreStmt:
+		return fmt.Sprintf("STORE %s INTO '%s'", t.Input, t.Path)
+	case *FilterStmt:
+		return fmt.Sprintf("%s = FILTER %s", t.Alias, t.Input)
+	case *DistinctStmt:
+		return fmt.Sprintf("%s = DISTINCT %s", t.Alias, t.Input)
+	case *LimitStmt:
+		return fmt.Sprintf("%s = LIMIT %s", t.Alias, t.Input)
+	case *UnionStmt:
+		return fmt.Sprintf("%s = UNION %s", t.Alias, strings.Join(t.Inputs, ", "))
+	case *OrderStmt:
+		return fmt.Sprintf("%s = ORDER %s", t.Alias, t.Input)
+	case *DumpStmt:
+		return fmt.Sprintf("DUMP %s", t.Input)
+	case *JoinStmt:
+		return fmt.Sprintf("%s = JOIN %s", t.Alias, strings.Join(t.Inputs, ", "))
+	case *DescribeStmt:
+		return fmt.Sprintf("DESCRIBE %s", t.Input)
+	case *SampleStmt:
+		return fmt.Sprintf("%s = SAMPLE %s", t.Alias, t.Input)
+	default:
+		return fmt.Sprintf("%T", st)
+	}
 }
 
 // executor tracks alias state during a run.

@@ -1,0 +1,115 @@
+package pig
+
+import (
+	"testing"
+
+	"github.com/metagenomics/mrmcminh/internal/dfs"
+	"github.com/metagenomics/mrmcminh/internal/mapreduce"
+	"github.com/metagenomics/mrmcminh/internal/trace"
+)
+
+// TestScriptTraceSpans runs a small script with tracing attached and
+// checks every statement yields a pig-op span with the launched jobs (and
+// their tasks) nested beneath it.
+func TestScriptTraceSpans(t *testing.T) {
+	fs := dfs.MustNew(dfs.Config{NumDataNodes: 2, BlockSize: 64, Replication: 1})
+	if err := fs.WriteLines("/in/words", []string{"a", "b", "a", "c", "b", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.New()
+	fs.SetTrace(rec)
+	engine := mapreduce.MustEngine(mapreduce.Cluster{Nodes: 2, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel})
+	engine.Trace = rec
+	ctx := &Context{FS: fs, Engine: engine, Registry: NewRegistry()}
+
+	script := MustCompile(`
+W = LOAD '/in/words';
+G = GROUP W BY $0;
+D = DISTINCT W;
+STORE D INTO '/out/d';
+`)
+	res, err := script.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := rec.Spans()
+	byID := map[int64]trace.Span{}
+	var ops, jobs []trace.Span
+	for _, s := range spans {
+		byID[s.ID] = s
+		switch s.Kind {
+		case trace.KindPigOp:
+			ops = append(ops, s)
+		case trace.KindJob:
+			jobs = append(jobs, s)
+		}
+	}
+	if len(ops) != 4 {
+		t.Fatalf("got %d pig-op spans, want 4 (one per statement)", len(ops))
+	}
+	wantLabels := []string{"W = LOAD '/in/words'", "G = GROUP W", "D = DISTINCT W", "STORE D INTO '/out/d'"}
+	for i, op := range ops {
+		if op.Name != wantLabels[i] {
+			t.Fatalf("op %d label = %q, want %q", i, op.Name, wantLabels[i])
+		}
+		if op.Parent != 0 {
+			t.Fatalf("pig-op span %q has parent %d, want root", op.Name, op.Parent)
+		}
+	}
+	if len(jobs) != res.Jobs {
+		t.Fatalf("got %d job spans, RunResult says %d jobs", len(jobs), res.Jobs)
+	}
+	// Every job nests under a pig-op, and its operator's virtual duration
+	// covers it.
+	var opVirtual int64
+	for _, op := range ops {
+		opVirtual += int64(op.VDur)
+	}
+	if opVirtual != int64(res.Virtual) {
+		t.Fatalf("pig-op spans sum to %d virtual ns, RunResult.Virtual = %d", opVirtual, int64(res.Virtual))
+	}
+	for _, j := range jobs {
+		parent, ok := byID[j.Parent]
+		if !ok || parent.Kind != trace.KindPigOp {
+			t.Fatalf("job %q parent is not a pig-op span", j.Name)
+		}
+	}
+	// DFS spans from LOAD/STORE nest under their operator spans too.
+	var dfsSpans int
+	for _, s := range spans {
+		if s.Kind == trace.KindDFSRead || s.Kind == trace.KindDFSWrite {
+			dfsSpans++
+			if p, ok := byID[s.Parent]; !ok || (p.Kind != trace.KindPigOp && p.Kind != trace.KindJob) {
+				t.Fatalf("DFS span %q (parent %d) not nested in the timeline", s.Name, s.Parent)
+			}
+		}
+	}
+	if dfsSpans == 0 {
+		t.Fatal("no DFS spans recorded for LOAD/STORE")
+	}
+}
+
+// TestScriptUntracedUnchanged pins that running without a recorder still
+// works and yields the same modelled time as a traced run.
+func TestScriptUntracedUnchanged(t *testing.T) {
+	run := func(rec *trace.Recorder) *RunResult {
+		fs := dfs.MustNew(dfs.Config{NumDataNodes: 2, BlockSize: 64, Replication: 1})
+		if err := fs.WriteLines("/in/words", []string{"x", "y", "x"}); err != nil {
+			t.Fatal(err)
+		}
+		fs.SetTrace(rec)
+		engine := mapreduce.MustEngine(mapreduce.Cluster{Nodes: 2, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel})
+		engine.Trace = rec
+		res, err := MustCompile("W = LOAD '/in/words';\nG = GROUP W BY $0;").Run(&Context{FS: fs, Engine: engine, Registry: NewRegistry()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	traced := run(trace.New())
+	if plain.Virtual != traced.Virtual {
+		t.Fatalf("tracing changed Virtual: %v vs %v", plain.Virtual, traced.Virtual)
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event exporter. The output is the JSON object format
+// understood by chrome://tracing and Perfetto: spans become complete ("X")
+// events on the virtual timeline, zero-duration spans become thread-scoped
+// instant ("i") events, and each simulated node renders as its own thread
+// row. Timestamps are microseconds of virtual cluster time.
+
+// chromeEvent is one trace_event entry. Field order fixes the JSON key
+// order, keeping the export byte-stable for golden tests.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	Ts   int64       `json:"ts"`
+	Dur  int64       `json:"dur,omitempty"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	S    string      `json:"s,omitempty"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeArgs carries span metadata into the trace viewer's detail pane.
+type chromeArgs struct {
+	ThreadName string `json:"name,omitempty"` // thread_name metadata only
+	ID         int64  `json:"id,omitempty"`
+	Parent     int64  `json:"parent,omitempty"`
+	Records    int64  `json:"records,omitempty"`
+	Bytes      int64  `json:"bytes,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+	RealUS     int64  `json:"real_us,omitempty"`
+}
+
+// chromeTID maps a span to its thread row: tid 0 is the driver (jobs, Pig
+// operators), tid n+1 is simulated node n.
+func chromeTID(s Span) int {
+	if s.Node < 0 {
+		return 0
+	}
+	return s.Node + 1
+}
+
+// WriteChromeTrace renders spans as a Chrome trace_event file. Output is
+// deterministic given the spans: metadata rows first (sorted by tid), then
+// span events in emission order.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	tids := map[int]bool{0: true}
+	for _, s := range spans {
+		tids[chromeTID(s)] = true
+	}
+	ordered := make([]int, 0, len(tids))
+	for tid := range tids {
+		ordered = append(ordered, tid)
+	}
+	sort.Ints(ordered)
+
+	events := make([]chromeEvent, 0, len(spans)+len(ordered))
+	for _, tid := range ordered {
+		name := "driver"
+		if tid > 0 {
+			name = fmt.Sprintf("node %d", tid-1)
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: &chromeArgs{ThreadName: name},
+		})
+	}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  s.Kind.String(),
+			Ts:   s.VStart.Microseconds(),
+			Pid:  1,
+			Tid:  chromeTID(s),
+			Args: &chromeArgs{
+				ID:      s.ID,
+				Parent:  s.Parent,
+				Records: s.Records,
+				Bytes:   s.Bytes,
+				Detail:  s.Detail,
+				RealUS:  s.RDur.Microseconds(),
+			},
+		}
+		if s.VDur > 0 {
+			ev.Ph = "X"
+			ev.Dur = s.VDur.Microseconds()
+		} else {
+			ev.Ph = "i"
+			ev.S = "t"
+		}
+		events = append(events, ev)
+	}
+
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ms"}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

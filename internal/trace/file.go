@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"bufio"
+	"os"
+	"strings"
+)
+
+// WriteFile exports spans to path, picking the format from the extension:
+// ".jsonl" (or ".ndjson") writes one JSON span per line, anything else
+// writes the Chrome trace_event format loadable in chrome://tracing and
+// Perfetto.
+func WriteFile(path string, spans []Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	switch {
+	case strings.HasSuffix(path, ".jsonl"), strings.HasSuffix(path, ".ndjson"):
+		err = WriteJSONL(w, spans)
+	default:
+		err = WriteChromeTrace(w, spans)
+	}
+	if ferr := w.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON-lines exporter: one span object per line, for ad-hoc analysis with
+// jq/awk or loading into a dataframe. Durations are microseconds.
+
+// jsonlSpan is the serialized shape of one span.
+type jsonlSpan struct {
+	ID       int64  `json:"id"`
+	Parent   int64  `json:"parent,omitempty"`
+	Kind     string `json:"kind"`
+	Name     string `json:"name"`
+	Node     int    `json:"node"`
+	Records  int64  `json:"records,omitempty"`
+	Bytes    int64  `json:"bytes,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+	VStartUS int64  `json:"v_start_us"`
+	VDurUS   int64  `json:"v_dur_us"`
+	RStartUS int64  `json:"r_start_us"`
+	RDurUS   int64  `json:"r_dur_us"`
+}
+
+// WriteJSONL writes spans one JSON object per line in emission order.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		if err := enc.Encode(jsonlSpan{
+			ID:       s.ID,
+			Parent:   s.Parent,
+			Kind:     s.Kind.String(),
+			Name:     s.Name,
+			Node:     s.Node,
+			Records:  s.Records,
+			Bytes:    s.Bytes,
+			Detail:   s.Detail,
+			VStartUS: s.VStart.Microseconds(),
+			VDurUS:   s.VDur.Microseconds(),
+			RStartUS: s.RStart.Microseconds(),
+			RDurUS:   s.RDur.Microseconds(),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

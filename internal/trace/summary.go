@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ASCII per-node utilization summary — the quick look at where virtual
+// time went without leaving the terminal. Only top-level task spans (map
+// and reduce) count as busy time; their children (combine, shuffle, sort)
+// live inside the same window and would double-count.
+
+// NodeUtilization aggregates one node's share of the virtual timeline.
+type NodeUtilization struct {
+	Node  int
+	Tasks int
+	Busy  time.Duration
+}
+
+// Utilization computes per-node busy time and the overall virtual
+// makespan (latest span end) from a span set.
+func Utilization(spans []Span) ([]NodeUtilization, time.Duration) {
+	perNode := map[int]*NodeUtilization{}
+	var makespan time.Duration
+	for _, s := range spans {
+		if end := s.VStart + s.VDur; end > makespan {
+			makespan = end
+		}
+		if s.Node < 0 || s.VDur <= 0 {
+			continue
+		}
+		if s.Kind != KindMap && s.Kind != KindReduce {
+			continue
+		}
+		nu := perNode[s.Node]
+		if nu == nil {
+			nu = &NodeUtilization{Node: s.Node}
+			perNode[s.Node] = nu
+		}
+		nu.Tasks++
+		nu.Busy += s.VDur
+	}
+	out := make([]NodeUtilization, 0, len(perNode))
+	for _, nu := range perNode {
+		out = append(out, *nu)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out, makespan
+}
+
+// UtilizationSummary renders the per-node busy-time table with bar-chart
+// utilization against the virtual makespan.
+func UtilizationSummary(spans []Span) string {
+	nodes, makespan := Utilization(spans)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "per-node utilization (virtual makespan %s, %d spans)\n",
+		roundDur(makespan), len(spans))
+	if len(nodes) == 0 {
+		sb.WriteString("  no node-attributed task spans recorded\n")
+		return sb.String()
+	}
+	const barWidth = 24
+	fmt.Fprintf(&sb, "  %4s  %5s  %10s  %-*s %5s\n", "node", "tasks", "busy", barWidth, "", "util")
+	for _, nu := range nodes {
+		frac := 0.0
+		if makespan > 0 {
+			frac = float64(nu.Busy) / float64(makespan)
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		filled := int(frac*barWidth + 0.5)
+		bar := strings.Repeat("#", filled) + strings.Repeat(".", barWidth-filled)
+		fmt.Fprintf(&sb, "  %4d  %5d  %10s  %s %4.0f%%\n",
+			nu.Node, nu.Tasks, roundDur(nu.Busy), bar, frac*100)
+	}
+	return sb.String()
+}
+
+// roundDur trims durations to milliseconds for display.
+func roundDur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}

@@ -5,6 +5,9 @@ import (
 )
 
 func TestClusterLevelsNestedCuts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-pipeline run")
+	}
 	reads, _ := sampleReads(t)
 	res, err := ClusterLevels(reads, Options{
 		K: 20, NumHashes: 100, Mode: Hierarchical, Linkage: SingleLinkage,
@@ -84,6 +87,9 @@ func TestDiversityPublic(t *testing.T) {
 }
 
 func TestConsensusPublic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-pipeline run")
+	}
 	reads, _ := sampleReads(t)
 	opt := Options{K: 20, NumHashes: 60, Theta: 0.3, Mode: Greedy, Canonical: true, Seed: 1}
 	res, err := Cluster(reads, opt)

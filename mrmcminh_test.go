@@ -41,6 +41,9 @@ func TestClusterPublicAPIGreedy(t *testing.T) {
 }
 
 func TestClusterPublicAPIHierarchical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-pipeline run")
+	}
 	reads, truth := sampleReads(t)
 	res, err := Cluster(reads, Options{
 		K: 20, NumHashes: 100, Theta: 0.55, Mode: Hierarchical,

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Bench smoke check: run every benchmark for exactly one iteration so CI
+# notices benchmarks that fail to compile, panic, or error — without
+# gating anything on timing. Wired as a non-blocking CI step; run locally
+# with:
+#
+#   ./scripts/bench_check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# -run '^$' skips all tests so only benchmarks execute.
+exec go test -run '^$' -bench . -benchtime 1x ./...
