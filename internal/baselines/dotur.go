@@ -37,27 +37,23 @@ func (Mothur) Cluster(reads []fasta.Record, opt Options) (metrics.Clustering, er
 	return alignmentMatrixClustering(reads, opt, cluster.Average, true)
 }
 
-// alignmentMatrixClustering is the shared DOTUR/mothur skeleton.
+// alignmentMatrixClustering is the shared DOTUR/mothur skeleton. The
+// all-pairs alignment matrix — the methods' defining cost — is built
+// with the tiled parallel kernel over all cores (alignments of distinct
+// pairs are independent).
 func alignmentMatrixClustering(reads []fasta.Record, opt Options, link cluster.Linkage, fullAlignment bool) (metrics.Clustering, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	n := len(reads)
-	m, err := cluster.NewMatrix(n)
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			var res align.Result
-			if fullAlignment {
-				res = align.Global(reads[i].Seq, reads[j].Seq, align.DefaultScoring)
-			} else {
-				res = align.GlobalBanded(reads[i].Seq, reads[j].Seq, align.DefaultScoring, bandFor(opt.Threshold, len(reads[i].Seq)))
-			}
-			m.Set(i, j, res.Identity())
+	m := cluster.BuildMatrixParallelFunc(len(reads), 0, func(i, j int) float64 {
+		var res align.Result
+		if fullAlignment {
+			res = align.Global(reads[i].Seq, reads[j].Seq, align.DefaultScoring)
+		} else {
+			res = align.GlobalBanded(reads[i].Seq, reads[j].Seq, align.DefaultScoring, bandFor(opt.Threshold, len(reads[i].Seq)))
 		}
-	}
+		return res.Identity()
+	})
 	dend, err := cluster.Hierarchical(m, cluster.HierarchicalOptions{Linkage: link})
 	if err != nil {
 		return nil, err

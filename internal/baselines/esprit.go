@@ -40,21 +40,17 @@ func (Esprit) Cluster(reads []fasta.Record, opt Options) (metrics.Clustering, er
 		counters[i] = kmer.NewCounter(w)
 		counters[i].Observe(reads[i].Seq, e)
 	}
-	m, err := cluster.NewMatrix(n)
-	if err != nil {
-		return nil, err
-	}
 	limit := (1 - opt.Threshold) + espritPruneSlack
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := kmer.WordDistance(counters[i], counters[j], len(reads[i].Seq), len(reads[j].Seq))
-			if d > limit {
-				continue // screened out: stays at similarity 0
-			}
-			res := align.GlobalBanded(reads[i].Seq, reads[j].Seq, align.DefaultScoring, bandFor(opt.Threshold, len(reads[i].Seq)))
-			m.Set(i, j, res.Identity())
+	// Screen + align per pair, fanned out over all cores by the tiled
+	// parallel matrix builder (counters are read-only here).
+	m := cluster.BuildMatrixParallelFunc(n, 0, func(i, j int) float64 {
+		d := kmer.WordDistance(counters[i], counters[j], len(reads[i].Seq), len(reads[j].Seq))
+		if d > limit {
+			return 0 // screened out: unrelated
 		}
-	}
+		res := align.GlobalBanded(reads[i].Seq, reads[j].Seq, align.DefaultScoring, bandFor(opt.Threshold, len(reads[i].Seq)))
+		return res.Identity()
+	})
 	dend, err := cluster.Hierarchical(m, cluster.HierarchicalOptions{Linkage: cluster.Complete})
 	if err != nil {
 		return nil, err

@@ -228,6 +228,9 @@ func TestMatrixBasics(t *testing.T) {
 	if m.Get(0, 2) != 0.75 {
 		t.Fatal("SetRow failed")
 	}
+	if m.Get(2, 0) != 0.75 || m.Get(1, 0) != 0.25 {
+		t.Fatal("SetRow did not write the mirror triangle")
+	}
 	if err := m.SetRow(0, []float64{1}); err == nil {
 		t.Fatal("short row accepted")
 	}

@@ -39,6 +39,7 @@ func Greedy(sigs []minhash.Signature, opt GreedyOptions) (metrics.Clustering, er
 		return nil, err
 	}
 	n := len(sigs)
+	prep := minhash.PrepareAll(sigs)
 	assign := make(metrics.Clustering, n)
 	for i := range assign {
 		assign[i] = -1
@@ -51,7 +52,7 @@ func Greedy(sigs []minhash.Signature, opt GreedyOptions) (metrics.Clustering, er
 		label := next
 		next++
 		assign[first] = label
-		rep := sigs[first]
+		rep := prep[first]
 		if rep.Empty() {
 			continue // nothing can match an empty signature
 		}
@@ -59,7 +60,7 @@ func Greedy(sigs []minhash.Signature, opt GreedyOptions) (metrics.Clustering, er
 			if assign[j] >= 0 {
 				continue
 			}
-			if opt.Estimator.Similarity(rep, sigs[j]) >= opt.Threshold {
+			if opt.Estimator.SimilarityPrepared(rep, prep[j]) >= opt.Threshold {
 				assign[j] = label
 			}
 		}
@@ -85,6 +86,7 @@ func GreedyOrdered(sigs []minhash.Signature, order []int, opt GreedyOptions) (me
 		}
 		seen[idx] = true
 	}
+	prep := minhash.PrepareAll(sigs)
 	assign := make(metrics.Clustering, n)
 	for i := range assign {
 		assign[i] = -1
@@ -97,7 +99,7 @@ func GreedyOrdered(sigs []minhash.Signature, order []int, opt GreedyOptions) (me
 		label := next
 		next++
 		assign[first] = label
-		rep := sigs[first]
+		rep := prep[first]
 		if rep.Empty() {
 			continue
 		}
@@ -105,7 +107,7 @@ func GreedyOrdered(sigs []minhash.Signature, order []int, opt GreedyOptions) (me
 			if assign[j] >= 0 {
 				continue
 			}
-			if opt.Estimator.Similarity(rep, sigs[j]) >= opt.Threshold {
+			if opt.Estimator.SimilarityPrepared(rep, prep[j]) >= opt.Threshold {
 				assign[j] = label
 			}
 		}

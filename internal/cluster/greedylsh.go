@@ -79,17 +79,19 @@ func GreedyLSH(sigs []minhash.Signature, opt GreedyOptions, lsh LSHOptions) (met
 	if err != nil {
 		return nil, err
 	}
+	prep := minhash.PrepareAll(sigs)
 	assign := make(metrics.Clustering, len(sigs))
 	for i := range assign {
 		assign[i] = -1
 	}
 	repLabel := map[int]int{}
+	var repOrig []int // band-index id -> original signature index
 	next := 0
 	for i, sig := range sigs {
 		placed := false
 		if !sig.Empty() {
 			for _, cand := range idx.Candidates(sig) {
-				if opt.Estimator.Similarity(sig, idx.Signature(cand)) >= opt.Threshold {
+				if opt.Estimator.SimilarityPrepared(prep[i], prep[repOrig[cand]]) >= opt.Threshold {
 					assign[i] = repLabel[cand]
 					placed = true
 					break
@@ -101,6 +103,10 @@ func GreedyLSH(sigs []minhash.Signature, opt GreedyOptions, lsh LSHOptions) (met
 			if err != nil {
 				return nil, err
 			}
+			if id != len(repOrig) {
+				return nil, fmt.Errorf("cluster: LSH index id drift")
+			}
+			repOrig = append(repOrig, i)
 			repLabel[id] = next
 			assign[i] = next
 			next++

@@ -209,7 +209,11 @@ func (d *Dendrogram) Heights() []float64 {
 }
 
 // SimilarityMatrix computes the dense all-pairs matrix from signatures
-// sequentially (the MapReduce row-parallel path lives in internal/core).
+// sequentially with the legacy per-pair estimator — the reference
+// implementation that BuildMatrixParallel must match cell for cell.
+// Production paths use BuildMatrixParallel (prepared signatures, tiled
+// worker fan-out); the MapReduce row-parallel path lives in
+// internal/core.
 func SimilarityMatrix(sigs []minhash.Signature, est minhash.Estimator) *Matrix {
 	n := len(sigs)
 	m := MustMatrix(n)
@@ -222,12 +226,13 @@ func SimilarityMatrix(sigs []minhash.Signature, est minhash.Estimator) *Matrix {
 }
 
 // HierarchicalFromSignatures is the end-to-end Algorithm 2: matrix, then
-// dendrogram, then cut at θ.
+// dendrogram, then cut at θ. The matrix is built with the parallel tiled
+// kernel over all available cores.
 func HierarchicalFromSignatures(sigs []minhash.Signature, est minhash.Estimator, link Linkage, theta float64) (metrics.Clustering, error) {
 	if theta < 0 || theta > 1 {
 		return nil, fmt.Errorf("cluster: threshold must be in [0,1], got %v", theta)
 	}
-	m := SimilarityMatrix(sigs, est)
+	m := BuildMatrixParallel(sigs, est, 0)
 	d, err := Hierarchical(m, HierarchicalOptions{Linkage: link})
 	if err != nil {
 		return nil, err

@@ -14,8 +14,10 @@ import (
 type Incremental struct {
 	opt GreedyOptions
 	// lsh, when non-nil, indexes representatives for sub-linear lookup.
-	lsh     *minhash.BandIndex
-	reps    []minhash.Signature
+	lsh *minhash.BandIndex
+	// reps holds prepared representative signatures: indexed by label on
+	// the exact-scan path, by LSH id when lsh is non-nil.
+	reps    []minhash.Prepared
 	repOf   []int // lsh id -> cluster label (when lsh is used)
 	nLabels int
 	nReads  int
@@ -46,16 +48,17 @@ func (inc *Incremental) Add(sig minhash.Signature) (int, error) {
 		return 0, fmt.Errorf("cluster: signature length %d below LSH geometry %d", len(sig), inc.lsh.SignatureLen())
 	}
 	inc.nReads++
+	prep := minhash.Prepare(sig)
 	if !sig.Empty() {
 		if inc.lsh != nil {
 			for _, cand := range inc.lsh.Candidates(sig) {
-				if inc.opt.Estimator.Similarity(sig, inc.lsh.Signature(cand)) >= inc.opt.Threshold {
+				if inc.opt.Estimator.SimilarityPrepared(prep, inc.reps[cand]) >= inc.opt.Threshold {
 					return inc.repOf[cand], nil
 				}
 			}
 		} else {
 			for label, rep := range inc.reps {
-				if inc.opt.Estimator.Similarity(sig, rep) >= inc.opt.Threshold {
+				if inc.opt.Estimator.SimilarityPrepared(prep, rep) >= inc.opt.Threshold {
 					return label, nil
 				}
 			}
@@ -72,9 +75,8 @@ func (inc *Incremental) Add(sig minhash.Signature) (int, error) {
 			return 0, fmt.Errorf("cluster: LSH index id drift")
 		}
 		inc.repOf = append(inc.repOf, label)
-	} else {
-		inc.reps = append(inc.reps, sig)
 	}
+	inc.reps = append(inc.reps, prep)
 	return label, nil
 }
 

@@ -77,6 +77,7 @@ func Representatives(labels metrics.Clustering, sigs []minhash.Signature, est mi
 		return nil, fmt.Errorf("cluster: %d labels for %d signatures", len(labels), len(sigs))
 	}
 	members := labels.Members()
+	prep := minhash.PrepareAll(sigs)
 	reps := make(map[int]int, len(members))
 	for id, idx := range members {
 		if len(idx) == 1 {
@@ -88,7 +89,7 @@ func Representatives(labels metrics.Clustering, sigs []minhash.Signature, est mi
 			score := 0.0
 			for _, j := range idx {
 				if i != j {
-					score += est.Similarity(sigs[i], sigs[j])
+					score += est.SimilarityPrepared(prep[i], prep[j])
 				}
 			}
 			if score > bestScore {

@@ -41,7 +41,9 @@ func (m *Matrix) Set(i, j int, v float64) {
 }
 
 // SetRow fills row i from a dense slice of length N (used by the MR path,
-// which computes whole rows in map tasks). Values at [i] are ignored.
+// which computes whole rows in map tasks). Both triangles are written —
+// (i,j) and (j,i) — so a matrix assembled row by row is symmetric without
+// a separate Symmetrize pass. Values at [i] are ignored.
 func (m *Matrix) SetRow(i int, row []float64) error {
 	if len(row) != m.n {
 		return fmt.Errorf("cluster: row length %d != matrix size %d", len(row), m.n)
@@ -49,9 +51,16 @@ func (m *Matrix) SetRow(i int, row []float64) error {
 	for j, v := range row {
 		if j != i {
 			m.data[i*m.n+j] = float32(v)
+			m.data[j*m.n+i] = float32(v)
 		}
 	}
 	return nil
+}
+
+// rowSlice exposes row i's backing storage for kernel-level writers
+// (BuildMatrixParallel fills disjoint row blocks lock-free).
+func (m *Matrix) rowSlice(i int) []float32 {
+	return m.data[i*m.n : (i+1)*m.n]
 }
 
 // Get returns the similarity between i and j (1 on the diagonal).
@@ -62,8 +71,9 @@ func (m *Matrix) Get(i, j int) float64 {
 	return float64(m.data[i*m.n+j])
 }
 
-// Symmetrize copies the max of (i,j) and (j,i) into both cells, repairing
-// any asymmetry introduced by independent row computations.
+// Symmetrize copies the max of (i,j) and (j,i) into both cells. Set and
+// SetRow already write both triangles, so this is only needed for
+// matrices whose cells were filled from genuinely asymmetric sources.
 func (m *Matrix) Symmetrize() {
 	for i := 0; i < m.n; i++ {
 		for j := i + 1; j < m.n; j++ {

@@ -6,10 +6,13 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/metagenomics/mrmcminh/internal/cluster"
 	"github.com/metagenomics/mrmcminh/internal/dfs"
 	"github.com/metagenomics/mrmcminh/internal/fasta"
+	"github.com/metagenomics/mrmcminh/internal/kmer"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/metrics"
+	"github.com/metagenomics/mrmcminh/internal/minhash"
 	"github.com/metagenomics/mrmcminh/internal/pig"
 )
 
@@ -95,6 +98,44 @@ func TestRunGreedyRecoversGroups(t *testing.T) {
 	}
 	if res.Jobs != 2 || res.Virtual <= 0 {
 		t.Fatalf("jobs=%d virtual=%v", res.Jobs, res.Virtual)
+	}
+}
+
+// TestRunHierarchicalMatchesLegacyKernels pins the pipeline's fast path
+// (slice-based SketchInto, prepared similarity rows, both-triangle
+// assembly) to a from-scratch legacy computation — map-based Sketch,
+// per-pair Similarity, sequential matrix — at the paper's
+// whole-metagenome defaults (k=5, n=100 hashes, θ=0.9). Clusterings
+// must be identical, label for label.
+func TestRunHierarchicalMatchesLegacyKernels(t *testing.T) {
+	reads, _ := makeReads(5, 10, 200, 0.03, 17)
+	opt := Options{K: 5, NumHashes: 100, Theta: 0.9, Mode: HierarchicalMode, Linkage: cluster.Average, Cluster: smallCluster(), Seed: 17}
+	res, err := Run(reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sk, err := minhash.NewSketcher(opt.NumHashes, opt.K, opt.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &kmer.Extractor{K: opt.K}
+	sigs := make([]minhash.Signature, len(reads))
+	for i := range reads {
+		sigs[i] = sk.Sketch(ex.Set(reads[i].Seq))
+	}
+	dend, err := cluster.Hierarchical(cluster.SimilarityMatrix(sigs, minhash.SetOverlap), cluster.HierarchicalOptions{Linkage: cluster.Average})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dend.CutAt(opt.Theta)
+	if len(want) != len(res.Assignments) {
+		t.Fatalf("%d labels vs %d", len(want), len(res.Assignments))
+	}
+	for i := range want {
+		if res.Assignments[i] != want[i] {
+			t.Fatalf("read %d: pipeline label %d, legacy label %d", i, res.Assignments[i], want[i])
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/metagenomics/mrmcminh/internal/cluster"
@@ -179,12 +180,16 @@ func Run(reads []fasta.Record, opt Options) (*Result, error) {
 }
 
 // sketchJob computes minwise signatures for all reads as a map-only job.
+// Map tasks run the slice-based SketchInto kernel: k-mer occurrences are
+// streamed into a pooled scratch buffer (duplicates do not change the
+// minima) so the hot path never materializes a kmer.Set map.
 func sketchJob(engine *mapreduce.Engine, reads []fasta.Record, opt Options) ([]minhash.Signature, time.Duration, error) {
 	sk, err := minhash.NewSketcher(opt.NumHashes, opt.K, opt.Seed)
 	if err != nil {
 		return nil, 0, err
 	}
 	ex := &kmer.Extractor{K: opt.K, Canonical: opt.Canonical}
+	scratch := sync.Pool{New: func() any { return new([]uint64) }}
 	records := make([]mapreduce.KeyValue, len(reads))
 	for i := range reads {
 		records[i] = mapreduce.KeyValue{Key: fmt.Sprintf("%012d", i), Value: i}
@@ -197,8 +202,12 @@ func sketchJob(engine *mapreduce.Engine, reads []fasta.Record, opt Options) ([]m
 		MapCostFactor: float64(opt.NumHashes) / 2,
 		Map: func(kv mapreduce.KeyValue, emit func(mapreduce.KeyValue)) error {
 			i := kv.Value.(int)
-			set := ex.Set(reads[i].Seq)
-			emit(mapreduce.KeyValue{Key: kv.Key, Value: sk.Sketch(set)})
+			buf := scratch.Get().(*[]uint64)
+			kms := ex.SliceInto((*buf)[:0], reads[i].Seq)
+			sig := sk.SketchInto(nil, kms)
+			*buf = kms
+			scratch.Put(buf)
+			emit(mapreduce.KeyValue{Key: kv.Key, Value: sig})
 			return nil
 		},
 	}
@@ -286,6 +295,10 @@ func similarityJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Optio
 		idx int
 		row []float64
 	}
+	// Prepare every signature once on the driver so the O(n²) row scans
+	// below are allocation-free (the legacy path re-sorted both
+	// signatures per pair).
+	prep := minhash.PrepareAll(sigs)
 	job := &mapreduce.Job{
 		Name:  "mrmcminh-simrows",
 		Input: mapreduce.MemoryInput{Records: records, SplitSize: splitSize(n, engine.Cluster)},
@@ -296,7 +309,7 @@ func similarityJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Optio
 			i := kv.Value.(int)
 			row := make([]float64, n)
 			for j := i + 1; j < n; j++ {
-				row[j] = opt.Estimator.Similarity(sigs[i], sigs[j])
+				row[j] = opt.Estimator.SimilarityPrepared(prep[i], prep[j])
 			}
 			emit(mapreduce.KeyValue{Key: kv.Key, Value: rowResult{idx: i, row: row}})
 			return nil

@@ -343,7 +343,8 @@ func agglomerativeClusteringUDF(_ *pig.Context, args []pig.Value) (pig.Value, er
 			}
 		}
 	}
-	m.Symmetrize()
+	// SetRow writes both triangles and the similarity rows are symmetric
+	// by construction, so no Symmetrize post-pass is needed.
 	dend, err := cluster.Hierarchical(m, cluster.HierarchicalOptions{Linkage: link})
 	if err != nil {
 		return nil, err

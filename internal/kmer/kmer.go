@@ -57,9 +57,16 @@ func (e *Extractor) Set(seq []byte) Set {
 // Slice returns every k-mer occurrence of seq in order, including
 // duplicates. Windows containing ambiguous bases are skipped.
 func (e *Extractor) Slice(seq []byte) []uint64 {
-	out := make([]uint64, 0, max(0, len(seq)-e.K+1))
-	e.appendInto(seq, func(km uint64) { out = append(out, km) })
-	return out
+	return e.SliceInto(make([]uint64, 0, max(0, len(seq)-e.K+1)), seq)
+}
+
+// SliceInto appends every k-mer occurrence of seq to dst and returns the
+// extended slice, reusing dst's backing array when it has capacity —
+// the buffer-recycling form of Slice for hot loops that process many
+// sequences.
+func (e *Extractor) SliceInto(dst []uint64, seq []byte) []uint64 {
+	e.appendInto(seq, func(km uint64) { dst = append(dst, km) })
+	return dst
 }
 
 // appendInto streams packed k-mers of seq to emit using a rolling window.

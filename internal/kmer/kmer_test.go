@@ -57,6 +57,25 @@ func TestSliceOrderAndValues(t *testing.T) {
 	}
 }
 
+func TestSliceIntoReusesBuffer(t *testing.T) {
+	e := MustExtractor(3)
+	buf := make([]uint64, 0, 16)
+	a := e.SliceInto(buf, []byte("ACGTA"))
+	if len(a) != 3 || &a[0] != &buf[:1][0] {
+		t.Fatalf("SliceInto did not reuse the buffer (len %d)", len(a))
+	}
+	b := e.SliceInto(a[:0], []byte("TTTT"))
+	want := e.Slice([]byte("TTTT"))
+	if len(b) != len(want) {
+		t.Fatalf("got %d kmers, want %d", len(b), len(want))
+	}
+	for i := range b {
+		if b[i] != want[i] {
+			t.Errorf("kmer %d = %d, want %d", i, b[i], want[i])
+		}
+	}
+}
+
 func TestAmbiguousBasesBreakWindows(t *testing.T) {
 	e := MustExtractor(3)
 	got := e.Slice([]byte("ACNGTA"))

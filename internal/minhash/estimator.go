@@ -60,28 +60,10 @@ func matchedPositions(a, b Signature) float64 {
 }
 
 // setOverlap computes Jaccard over the signatures viewed as value sets.
+// It allocates two sorted copies per call; hot paths should Prepare each
+// signature once and use SimilarityPrepared instead.
 func setOverlap(a, b Signature) float64 {
-	sa := distinctSorted(a)
-	sb := distinctSorted(b)
-	inter := 0
-	i, j := 0, 0
-	for i < len(sa) && j < len(sb) {
-		switch {
-		case sa[i] == sb[j]:
-			inter++
-			i++
-			j++
-		case sa[i] < sb[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	union := len(sa) + len(sb) - inter
-	if union == 0 {
-		return 0
-	}
-	return float64(inter) / float64(union)
+	return setOverlapSorted(distinctSorted(a), distinctSorted(b))
 }
 
 // distinctSorted returns the sorted distinct values of a signature.

@@ -58,14 +58,61 @@ func (s *Sketcher) Sketch(set kmer.Set) Signature {
 // occurrences do not change the minimum, so Sketch(Set) and
 // SketchSlice(Slice) of the same sequence agree).
 func (s *Sketcher) SketchSlice(kms []uint64) Signature {
-	sig := make(Signature, s.Family.N())
-	for i := range sig {
-		sig[i] = EmptyMin
+	return s.SketchInto(nil, kms)
+}
+
+// SketchInto computes the signature of a k-mer occurrence slice into dst,
+// reusing dst's backing array when it has capacity (pass nil to
+// allocate). It returns exactly the same signature as SketchSlice but
+// runs the hash lanes four at a time over the whole feature slice,
+// keeping the running minima in registers instead of re-loading the
+// signature slot on every feature — the batched kernel behind the
+// pipeline's sketch map tasks.
+func (s *Sketcher) SketchInto(dst Signature, kms []uint64) Signature {
+	f := s.Family
+	n := f.N()
+	if cap(dst) < n {
+		dst = make(Signature, n)
 	}
-	for _, x := range kms {
-		s.observe(sig, x)
+	dst = dst[:n]
+	if len(kms) == 0 {
+		for i := range dst {
+			dst[i] = EmptyMin
+		}
+		return dst
 	}
-	return sig
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		a0, a1, a2, a3 := f.A[i], f.A[i+1], f.A[i+2], f.A[i+3]
+		b0, b1, b2, b3 := f.B[i], f.B[i+1], f.B[i+2], f.B[i+3]
+		m0, m1, m2, m3 := uint64(EmptyMin), uint64(EmptyMin), uint64(EmptyMin), uint64(EmptyMin)
+		for _, x := range kms {
+			if h := mulAddMod61(a0, x, b0) % f.M; h < m0 {
+				m0 = h
+			}
+			if h := mulAddMod61(a1, x, b1) % f.M; h < m1 {
+				m1 = h
+			}
+			if h := mulAddMod61(a2, x, b2) % f.M; h < m2 {
+				m2 = h
+			}
+			if h := mulAddMod61(a3, x, b3) % f.M; h < m3 {
+				m3 = h
+			}
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = m0, m1, m2, m3
+	}
+	for ; i < n; i++ {
+		a, b := f.A[i], f.B[i]
+		m := uint64(EmptyMin)
+		for _, x := range kms {
+			if h := mulAddMod61(a, x, b) % f.M; h < m {
+				m = h
+			}
+		}
+		dst[i] = m
+	}
+	return dst
 }
 
 // observe folds one feature into a partial signature.

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Kernel benchmark recorder: runs the similarity / sketch / matrix-build
+# benchmarks of internal/minhash and internal/cluster with allocation
+# stats and writes them as BENCH_kernels.json, so the perf trajectory of
+# the paper's dominant kernels is recorded per commit. CI uploads the
+# file as a workflow artifact; run locally with:
+#
+#   ./scripts/bench_json.sh [output.json]
+#
+# BENCHTIME overrides the per-benchmark budget (default 0.5s).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_kernels.json}"
+benchtime="${BENCHTIME:-0.5s}"
+
+raw=$(go test -run '^$' -bench 'Similarity|Sketch|BuildMatrix|Greedy1000|Hierarchical500' \
+  -benchmem -benchtime "$benchtime" ./internal/minhash/ ./internal/cluster/)
+
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+awk -v commit="$commit" -v stamp="$stamp" '
+BEGIN {
+  printf "{\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", commit, stamp
+  first = 1
+}
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix (absent at 1)
+  sub(/^Benchmark/, "", name)
+  iters = $2
+  ns = ""; bytes = "null"; allocs = "null"
+  for (i = 3; i < NF; i++) {
+    if ($(i+1) == "ns/op")     ns = $i
+    if ($(i+1) == "B/op")      bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+  }
+  if (ns == "") next
+  if (!first) printf ",\n"
+  first = 0
+  printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+    name, iters, ns, bytes, allocs
+}
+END { print "\n  ]\n}" }
+' <<<"$raw" > "$out"
+
+echo "wrote $out"
