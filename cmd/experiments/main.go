@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"github.com/metagenomics/mrmcminh/internal/bench"
+	"github.com/metagenomics/mrmcminh/internal/faults"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/trace"
 )
@@ -34,16 +35,18 @@ func main() {
 
 func run() error {
 	var (
-		table    = flag.Int("table", 0, "regenerate table 3, 4 or 5")
-		figure   = flag.Int("figure", 0, "regenerate figure 2")
-		ablation = flag.String("ablation", "", "run ablation: theta, estimator, speculative, errormodel, bbit or scaling")
-		svg      = flag.String("svg", "", "write the Figure 2 chart to this SVG file")
-		all      = flag.Bool("all", false, "run everything")
-		scale    = flag.Float64("scale", 0.01, "dataset scale in (0,1]")
-		seed     = flag.Int64("seed", 1, "generation seed")
-		nodes    = flag.Int("nodes", 8, "simulated cluster nodes for MrMC runs")
-		samples  = flag.String("samples", "", "comma-separated sample subset (tables 3 and 5)")
-		traceOut = flag.String("trace", "", "write a task trace of all MrMC runs here (.jsonl = JSON lines, anything else = Chrome trace_event)")
+		table     = flag.Int("table", 0, "regenerate table 3, 4 or 5")
+		figure    = flag.Int("figure", 0, "regenerate figure 2")
+		ablation  = flag.String("ablation", "", "run ablation: theta, estimator, speculative, errormodel, bbit or scaling")
+		svg       = flag.String("svg", "", "write the Figure 2 chart to this SVG file")
+		all       = flag.Bool("all", false, "run everything")
+		scale     = flag.Float64("scale", 0.01, "dataset scale in (0,1]")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		nodes     = flag.Int("nodes", 8, "simulated cluster nodes for MrMC runs")
+		samples   = flag.String("samples", "", "comma-separated sample subset (tables 3 and 5)")
+		traceOut  = flag.String("trace", "", "write a task trace of all MrMC runs here (.jsonl = JSON lines, anything else = Chrome trace_event)")
+		faultSpec = flag.String("faults", "", "fault-injection plan for MrMC runs: 'chaos' or comma-separated crash=P,kill=NODE@DUR,... (results unchanged; modelled time includes recovery)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
 	)
 	flag.Parse()
 
@@ -56,6 +59,17 @@ func run() error {
 	cfg.Seed = *seed
 	cfg.Cluster = mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel}
 	cfg.Trace = rec
+	if *faultSpec != "" {
+		plan, err := faults.ParsePlan(*faultSpec, *faultSeed)
+		if err != nil {
+			return err
+		}
+		cfg.Faults, err = faults.New(plan)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fault injection: %s (seed %d)\n", plan, *faultSeed)
+	}
 
 	var subset []string
 	if *samples != "" {
@@ -171,6 +185,10 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", len(spans), *traceOut)
 		fmt.Fprint(os.Stderr, trace.UtilizationSummary(spans))
+	}
+	if cfg.Faults != nil {
+		fmt.Fprintf(os.Stderr, "faults injected: %d (recovery included in modelled times; results unaffected)\n",
+			cfg.Faults.Injected())
 	}
 	return nil
 }

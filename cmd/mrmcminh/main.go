@@ -23,6 +23,7 @@ import (
 
 	"github.com/metagenomics/mrmcminh"
 	"github.com/metagenomics/mrmcminh/internal/fasta"
+	"github.com/metagenomics/mrmcminh/internal/faults"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/metrics"
 	"github.com/metagenomics/mrmcminh/internal/trace"
@@ -53,6 +54,8 @@ func run() error {
 		otu          = flag.String("otu", "", "write an OTU table (size, abundance, representative) to this file")
 		consensusOut = flag.String("consensus", "", "write per-cluster consensus sequences to this FASTA file")
 		traceOut     = flag.String("trace", "", "write a task trace here after the run (.jsonl = JSON lines, anything else = Chrome trace_event for chrome://tracing)")
+		faultSpec    = flag.String("faults", "", "fault-injection plan: 'chaos' or comma-separated crash=P,maxcrash=N,taskfail=JOB:PHASE:TASK:UPTO,kill=NODE@DUR,slow=NODE@FACTOR (clustering output is unaffected; modelled time includes recovery)")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -67,6 +70,18 @@ func run() error {
 	if *traceOut != "" {
 		rec = trace.New()
 	}
+	var injector *faults.Injector
+	if *faultSpec != "" {
+		plan, err := faults.ParsePlan(*faultSpec, *faultSeed)
+		if err != nil {
+			return err
+		}
+		injector, err = faults.New(plan)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fault injection: %s (seed %d)\n", plan, *faultSeed)
+	}
 	opt := mrmcminh.Options{
 		K:         *k,
 		NumHashes: *hashes,
@@ -76,6 +91,7 @@ func run() error {
 		Seed:      *seed,
 		Cluster:   mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel},
 		Trace:     rec,
+		Faults:    injector,
 	}
 	switch *mode {
 	case "hierarchical":
@@ -120,6 +136,10 @@ func run() error {
 
 	fmt.Fprintf(os.Stderr, "%d reads -> %d clusters in %v (modelled %d-node time %s)\n",
 		len(reads), res.NumClusters(), res.Real.Round(1000000), *nodes, metrics.FormatDuration(res.Virtual))
+	if injector != nil {
+		fmt.Fprintf(os.Stderr, "faults injected: %d (recovery included in modelled time; clusters unaffected)\n",
+			injector.Injected())
+	}
 
 	if *labels != "" {
 		truth, err := loadLabels(*labels, res.ReadIDs)

@@ -20,6 +20,7 @@ import (
 	"github.com/metagenomics/mrmcminh/internal/baselines"
 	"github.com/metagenomics/mrmcminh/internal/core"
 	"github.com/metagenomics/mrmcminh/internal/fasta"
+	"github.com/metagenomics/mrmcminh/internal/faults"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/metrics"
 	"github.com/metagenomics/mrmcminh/internal/trace"
@@ -44,6 +45,10 @@ type Config struct {
 	// Trace, when non-nil, collects job/task spans from every MrMC-MinH
 	// run in the experiment (baseline methods are not traced).
 	Trace *trace.Recorder
+	// Faults, when non-nil, injects the plan's failures into every
+	// MrMC-MinH run (baseline methods do not use the simulated cluster).
+	// Results are unchanged; the modelled time includes the recovery.
+	Faults *faults.Injector
 }
 
 // DefaultConfig is a laptop-friendly configuration.
@@ -110,6 +115,7 @@ func Table(title string, rows []Row) string {
 // runMrMC executes an MrMC-MinH mode and evaluates it.
 func runMrMC(name string, reads []fasta.Record, truth []string, opt core.Options, cfg Config) (Row, error) {
 	opt.Trace = cfg.Trace
+	opt.Faults = cfg.Faults
 	res, err := core.Run(reads, opt)
 	if err != nil {
 		return Row{}, fmt.Errorf("bench: %s: %w", name, err)

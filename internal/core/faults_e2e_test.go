@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/metagenomics/mrmcminh/internal/dfs"
+	"github.com/metagenomics/mrmcminh/internal/fasta"
+	"github.com/metagenomics/mrmcminh/internal/faults"
+	"github.com/metagenomics/mrmcminh/internal/mapreduce"
+	"github.com/metagenomics/mrmcminh/internal/trace"
+)
+
+// End-to-end fault tolerance: the full MrMC-MinH pipeline — FASTA staged
+// through the DFS with a replica lost, task crashes and a node death
+// injected into every MapReduce job — must produce clusters bit-identical
+// to the fault-free run. Recovery is lossless by construction; only the
+// modelled runtime grows.
+func TestPipelineBitIdenticalUnderChaos(t *testing.T) {
+	reads, _ := makeReads(4, 6, 200, 0.01, 5)
+
+	// Stage the input through the simulated HDFS and lose one replica
+	// holder before reading it back: the read must fail over.
+	fs := dfs.MustNew(dfs.Config{NumDataNodes: 4, BlockSize: 512, Replication: 3})
+	var sb strings.Builder
+	for _, r := range reads {
+		fmt.Fprintf(&sb, ">%s\n%s\n", r.ID, r.Seq)
+	}
+	if err := fs.WriteFile("/in/reads.fa", []byte(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaults(faults.MustNew(faults.Plan{
+		BlockErrors: []faults.BlockError{{PathPrefix: "/in", Node: 2, Times: 1}},
+	}))
+	if err := fs.KillDataNode(1); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := fs.ReadFile("/in/reads.fa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := fasta.ParseString(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(staged) != len(reads) {
+		t.Fatalf("DFS round-trip lost reads: %d of %d", len(staged), len(reads))
+	}
+	if st := fs.Stats(); st.FailedReads == 0 {
+		t.Fatalf("expected failover reads (dead replica + injected error), stats %+v", st)
+	}
+
+	for _, mode := range []Mode{GreedyMode, HierarchicalMode} {
+		t.Run(mode.String(), func(t *testing.T) {
+			opt := Options{
+				K: 8, NumHashes: 50, Theta: 0.4, Mode: mode,
+				Seed: 9, Cluster: smallCluster(),
+			}
+			baseline, err := Run(staged, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rec := trace.New()
+			chaos := opt
+			chaos.Trace = rec
+			chaos.Retry = mapreduce.RetryPolicy{MaxAttempts: 4}
+			plan := faults.ChaosPlan(3)
+			plan.Crashes = []faults.TaskCrash{{Phase: faults.PhaseMap, Task: 0, UpToAttempt: 1}}
+			plan.NodeDeaths = []faults.NodeDeath{{Node: 2, At: 25 * time.Second}}
+			chaos.Faults = faults.MustNew(plan)
+			faulted, err := Run(staged, chaos)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(baseline.Assignments, faulted.Assignments) {
+				t.Fatal("fault injection changed the clustering")
+			}
+			if faulted.NumClusters() != baseline.NumClusters() {
+				t.Fatalf("cluster counts diverged: %d vs %d", faulted.NumClusters(), baseline.NumClusters())
+			}
+			if faulted.Virtual <= baseline.Virtual {
+				t.Fatalf("recovery should cost virtual time: %v <= %v", faulted.Virtual, baseline.Virtual)
+			}
+			if chaos.Faults.Injected() == 0 {
+				t.Fatal("the chaos plan injected nothing")
+			}
+			// The trace must show the recovery: retried attempts and at
+			// least one non-success outcome.
+			var retried, nonSuccess int
+			for _, s := range rec.Spans() {
+				if s.Attempt >= 2 {
+					retried++
+				}
+				if s.Status == "crashed" || s.Status == "killed" {
+					nonSuccess++
+				}
+			}
+			if retried == 0 || nonSuccess == 0 {
+				t.Fatalf("trace shows no recovery (retried=%d nonSuccess=%d)", retried, nonSuccess)
+			}
+
+			// Determinism: the same chaos seed reproduces the same schedule.
+			again := opt
+			again.Retry = chaos.Retry
+			again.Faults = faults.MustNew(plan)
+			res2, err := Run(staged, again)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res2.Assignments, faulted.Assignments) {
+				t.Fatal("faulted runs diverged")
+			}
+		})
+	}
+}

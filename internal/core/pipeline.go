@@ -8,6 +8,7 @@ import (
 
 	"github.com/metagenomics/mrmcminh/internal/cluster"
 	"github.com/metagenomics/mrmcminh/internal/fasta"
+	"github.com/metagenomics/mrmcminh/internal/faults"
 	"github.com/metagenomics/mrmcminh/internal/kmer"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/metrics"
@@ -70,6 +71,13 @@ type Options struct {
 	// shuffle across the pipeline's jobs. Nil (the default) disables
 	// tracing at no cost.
 	Trace *trace.Recorder
+	// Faults, when non-nil, injects the plan's failures into every MapReduce
+	// job of the pipeline: task crashes retry, node deaths trigger Hadoop's
+	// map re-execution, and the virtual runtime reflects the recovery. The
+	// clustering result is bit-identical with and without faults.
+	Faults *faults.Injector
+	// Retry tunes recovery when Faults is set (zero = Hadoop defaults).
+	Retry mapreduce.RetryPolicy
 }
 
 // withDefaults fills zero values.
@@ -141,6 +149,8 @@ func Run(reads []fasta.Record, opt Options) (*Result, error) {
 		return nil, err
 	}
 	engine.Trace = opt.Trace
+	engine.Faults = opt.Faults
+	engine.Retry = opt.Retry
 	res := &Result{ReadIDs: make([]string, len(reads))}
 	for i := range reads {
 		res.ReadIDs[i] = reads[i].ID

@@ -9,7 +9,10 @@
 // cluster.
 package dfs
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // BlockID identifies one block globally.
 type BlockID uint64
@@ -26,9 +29,14 @@ type Block struct {
 // blockKey formats a BlockID for error messages.
 func (id BlockID) String() string { return fmt.Sprintf("blk_%d", uint64(id)) }
 
-// DataNode stores block payloads for one simulated machine.
+// DataNode stores block payloads for one simulated machine. It carries its
+// own lock: the exported inspection methods (NumBlocks, UsedBytes) are
+// called without the namenode lock — e.g. by monitoring loops while the
+// engine's workers read blocks — and ReviveDataNode swaps node state
+// concurrently with them.
 type DataNode struct {
 	ID     int
+	mu     sync.RWMutex
 	blocks map[BlockID][]byte
 }
 
@@ -41,23 +49,45 @@ func newDataNode(id int) *DataNode {
 func (dn *DataNode) store(id BlockID, data []byte) {
 	buf := make([]byte, len(data))
 	copy(buf, data)
+	dn.mu.Lock()
 	dn.blocks[id] = buf
+	dn.mu.Unlock()
 }
 
-// read fetches a block replica.
+// read fetches a block replica. The returned slice is shared and must be
+// treated as read-only.
 func (dn *DataNode) read(id BlockID) ([]byte, bool) {
+	dn.mu.RLock()
 	b, ok := dn.blocks[id]
+	dn.mu.RUnlock()
 	return b, ok
 }
 
 // drop removes a block replica.
-func (dn *DataNode) drop(id BlockID) { delete(dn.blocks, id) }
+func (dn *DataNode) drop(id BlockID) {
+	dn.mu.Lock()
+	delete(dn.blocks, id)
+	dn.mu.Unlock()
+}
+
+// dropAll wipes every replica (decommission).
+func (dn *DataNode) dropAll() {
+	dn.mu.Lock()
+	dn.blocks = make(map[BlockID][]byte)
+	dn.mu.Unlock()
+}
 
 // NumBlocks returns how many replicas this datanode holds.
-func (dn *DataNode) NumBlocks() int { return len(dn.blocks) }
+func (dn *DataNode) NumBlocks() int {
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
+	return len(dn.blocks)
+}
 
 // UsedBytes returns the storage consumed on this datanode.
 func (dn *DataNode) UsedBytes() int {
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
 	n := 0
 	for _, b := range dn.blocks {
 		n += len(b)

@@ -34,6 +34,39 @@ func (fs *FileSystem) KillDataNode(id int) error {
 	return nil
 }
 
+// DecommissionDataNode removes a datanode from service the hard way: the
+// node is marked dead, its replicas are destroyed, and the namenode
+// immediately re-replicates every affected block onto surviving nodes to
+// restore the configured replication factor. It returns the number of
+// replicas created. An error from re-replication (a block with no other
+// surviving copy — data loss) is reported after all repairable blocks are
+// fixed.
+func (fs *FileSystem) DecommissionDataNode(id int) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if id < 0 || id >= len(fs.nodes) {
+		return 0, fmt.Errorf("dfs: no datanode %d", id)
+	}
+	if fs.dead[id] {
+		return 0, fmt.Errorf("dfs: datanode %d already dead", id)
+	}
+	if fs.dead == nil {
+		fs.dead = make(map[int]bool)
+	}
+	if len(fs.dead) == len(fs.nodes)-1 {
+		return 0, fmt.Errorf("dfs: refusing to decommission the last live datanode")
+	}
+	fs.dead[id] = true
+	fs.nodes[id].dropAll()
+	for path, blocks := range fs.files {
+		for bi := range blocks {
+			blocks[bi].Replicas = removeHost(blocks[bi].Replicas, id)
+		}
+		fs.files[path] = blocks
+	}
+	return fs.reReplicateLocked()
+}
+
 // ReviveDataNode brings a dead datanode back, empty (as if re-imaged):
 // HDFS does not trust stale replicas after a restart.
 func (fs *FileSystem) ReviveDataNode(id int) error {
@@ -110,6 +143,11 @@ func (fs *FileSystem) liveReplicasLocked(blk Block) int {
 func (fs *FileSystem) ReReplicate() (int, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	return fs.reReplicateLocked()
+}
+
+// reReplicateLocked is ReReplicate with fs.mu held.
+func (fs *FileSystem) reReplicateLocked() (int, error) {
 	created := 0
 	var lost []string
 	for path, blocks := range fs.files {

@@ -1,0 +1,193 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/metagenomics/mrmcminh/internal/faults"
+)
+
+// Failover accounting and fault-injection coverage: reads surviving replica
+// loss must charge the failover in the I/O stats, injected mid-transfer
+// errors must charge the aborted bytes, and decommissioning must restore
+// the replication factor.
+
+func TestDeadReplicaFailoverChargesStats(t *testing.T) {
+	fs := smallFS(t) // 4 nodes, 16-byte blocks, replication 2
+	data := make([]byte, 16)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := fs.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := fs.Blocks("/f")
+	primary := blocks[0].Replicas[0]
+	if err := fs.KillDataNode(primary); err != nil {
+		t.Fatal(err)
+	}
+	fs.ResetStats()
+	got, local, err := fs.ReadBlock("/f", 0, primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("failover returned wrong data")
+	}
+	_ = local
+	st := fs.Stats()
+	if st.FailedReads != 1 {
+		t.Fatalf("FailedReads = %d, want 1 (dead primary skipped)", st.FailedReads)
+	}
+	if st.BlocksRead != 1 || st.BytesRead != 16 {
+		t.Fatalf("read stats %+v, want 1 block / 16 bytes (dead node transfers nothing)", st)
+	}
+}
+
+func TestInjectedReadErrorFailsOverAndChargesAbortedBytes(t *testing.T) {
+	fs := smallFS(t)
+	data := make([]byte, 16)
+	if err := fs.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := fs.Blocks("/f")
+	primary := blocks[0].Replicas[0]
+	fs.SetFaults(faults.MustNew(faults.Plan{
+		BlockErrors: []faults.BlockError{{PathPrefix: "/f", Node: primary, Times: 1}},
+	}))
+	fs.ResetStats()
+	got, err := fs.ReadFile("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("failover returned wrong data")
+	}
+	st := fs.Stats()
+	if st.FailedReads != 1 {
+		t.Fatalf("FailedReads = %d, want 1", st.FailedReads)
+	}
+	// The aborted transfer is charged on top of the successful re-read.
+	if st.BytesRead != 32 {
+		t.Fatalf("BytesRead = %d, want 32 (16 aborted + 16 served)", st.BytesRead)
+	}
+	if st.BlocksRead != 1 {
+		t.Fatalf("BlocksRead = %d, want 1", st.BlocksRead)
+	}
+	// The rule's Times cap is spent: the next read is clean.
+	fs.ResetStats()
+	if _, err := fs.ReadFile("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.Stats(); st.FailedReads != 0 || st.BytesRead != 16 {
+		t.Fatalf("second read not clean: %+v", st)
+	}
+}
+
+func TestReadFailsWhenEveryReplicaErrors(t *testing.T) {
+	fs := smallFS(t)
+	if err := fs.WriteFile("/f", make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaults(faults.MustNew(faults.Plan{
+		BlockErrors: []faults.BlockError{{PathPrefix: "/f", Node: -1}},
+	}))
+	if _, err := fs.ReadFile("/f"); err == nil {
+		t.Fatal("read should fail when every replica read errors")
+	}
+}
+
+func TestProbabilisticReadFaultsAreSeedDeterministic(t *testing.T) {
+	run := func(seed int64) Stats {
+		fs := MustNew(Config{NumDataNodes: 4, BlockSize: 8, Replication: 3})
+		if err := fs.WriteFile("/p", make([]byte, 8*16)); err != nil {
+			t.Fatal(err)
+		}
+		fs.SetFaults(faults.MustNew(faults.Plan{Seed: seed, BlockReadErrorProb: 0.3}))
+		fs.ResetStats()
+		for i := 0; i < 4; i++ {
+			// With p=0.3 a block can lose all three replica reads; that is
+			// a legitimate outcome — only determinism matters here.
+			_, _ = fs.ReadFile("/p")
+		}
+		return fs.Stats()
+	}
+	a, b := run(11), run(11)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.FailedReads == 0 {
+		t.Fatal("p=0.3 over 256 replica reads injected nothing")
+	}
+	if c := run(12); c == a {
+		t.Fatalf("different seeds produced identical stats: %+v", c)
+	}
+}
+
+func TestDecommissionRestoresReplication(t *testing.T) {
+	fs := MustNew(Config{NumDataNodes: 4, BlockSize: 8, Replication: 2})
+	data := make([]byte, 8*8) // 8 blocks
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := fs.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	created, err := fs.DecommissionDataNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created == 0 {
+		t.Fatal("decommission of a replica holder created no new replicas")
+	}
+	if under := fs.UnderReplicated(); len(under) != 0 {
+		t.Fatalf("blocks still under-replicated after decommission: %v", under)
+	}
+	got, err := fs.ReadFile("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted by decommission")
+	}
+	// Replica-balance check: the dead node holds nothing, the survivors
+	// hold all blocks at full replication.
+	blocks, _ := fs.Blocks("/f")
+	nodes := fs.DataNodes()
+	if n := nodes[1].NumBlocks(); n != 0 {
+		t.Fatalf("decommissioned node still holds %d blocks", n)
+	}
+	total := 0
+	for _, dn := range nodes {
+		total += dn.NumBlocks()
+	}
+	if want := len(blocks) * fs.Config().Replication; total != want {
+		t.Fatalf("cluster holds %d replicas, want %d", total, want)
+	}
+	for _, blk := range blocks {
+		if len(blk.Replicas) != fs.Config().Replication {
+			t.Fatalf("block %s has %d replicas, want %d", blk.ID, len(blk.Replicas), fs.Config().Replication)
+		}
+		for _, host := range blk.Replicas {
+			if host == 1 {
+				t.Fatalf("block %s still mapped to the decommissioned node", blk.ID)
+			}
+		}
+	}
+}
+
+func TestDecommissionValidation(t *testing.T) {
+	fs := MustNew(Config{NumDataNodes: 2, BlockSize: 8, Replication: 2})
+	if _, err := fs.DecommissionDataNode(7); err == nil {
+		t.Fatal("unknown node should error")
+	}
+	if _, err := fs.DecommissionDataNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.DecommissionDataNode(0); err == nil {
+		t.Fatal("double decommission should error")
+	}
+	if _, err := fs.DecommissionDataNode(1); err == nil {
+		t.Fatal("decommissioning the last live node should error")
+	}
+}

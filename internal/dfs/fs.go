@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/metagenomics/mrmcminh/internal/faults"
 	"github.com/metagenomics/mrmcminh/internal/trace"
 )
 
@@ -36,6 +37,11 @@ type Stats struct {
 	RemoteReads   int64
 	// CorruptReads counts replica reads rejected by checksum verification.
 	CorruptReads int64
+	// FailedReads counts replica reads that failed over to another replica
+	// (dead datanode, or an injected I/O error mid-transfer). The bytes of
+	// an aborted transfer are charged to BytesRead — the client paid for
+	// them — so failover is visible in the I/O cost model.
+	FailedReads int64
 }
 
 // FileSystem is the namenode plus its datanodes.
@@ -50,6 +56,7 @@ type FileSystem struct {
 	dead      map[int]bool       // failed datanodes (see failure.go)
 	checksums map[BlockID]uint32 // per-block CRC32C (see checksum.go)
 	trace     *trace.Recorder    // nil = tracing disabled
+	faults    *faults.Injector   // nil = fault injection disabled
 }
 
 // New creates a file system with the given configuration.
@@ -95,6 +102,15 @@ func (fs *FileSystem) Config() Config { return fs.cfg }
 func (fs *FileSystem) SetTrace(r *trace.Recorder) {
 	fs.mu.Lock()
 	fs.trace = r
+	fs.mu.Unlock()
+}
+
+// SetFaults attaches a fault injector: block reads consult it and fail
+// over to the next replica when it injects an I/O error, charging the
+// aborted transfer. Pass nil to disable (the default).
+func (fs *FileSystem) SetFaults(in *faults.Injector) {
+	fs.mu.Lock()
+	fs.faults = in
 	fs.mu.Unlock()
 }
 
@@ -194,18 +210,41 @@ func (fs *FileSystem) ReadBlock(path string, index int, nearNode int) ([]byte, b
 	return data, local, nil
 }
 
-// readBlockLocked fetches block data from the best replica.
+// readBlockLocked fetches block data from the best replica, failing over
+// past dead nodes, corrupt copies and injected I/O errors.
 func (fs *FileSystem) readBlockLocked(path string, blk Block, nearNode int) ([]byte, error) {
 	order := blk.Replicas
 	if nearNode >= 0 && hasReplica(blk, nearNode) {
-		order = append([]int{nearNode}, blk.Replicas...)
+		// Prefer the near replica; drop its duplicate entry so failover
+		// tries each node once.
+		order = append([]int{nearNode}, removeHost(append([]int(nil), blk.Replicas...), nearNode)...)
 	}
 	want, hasSum := fs.checksums[blk.ID]
 	for _, node := range order {
 		if !fs.alive(node) {
-			continue
+			fs.stats.FailedReads++
+			continue // fail over to the next replica
 		}
 		if data, ok := fs.nodes[node].read(blk.ID); ok {
+			if fs.faults.FailBlockRead(path, node) {
+				// Injected I/O error mid-transfer: the client still paid
+				// for the aborted stream before switching replicas.
+				fs.stats.FailedReads++
+				fs.stats.BytesRead += int64(len(data))
+				if fs.trace.Enabled() {
+					fs.trace.Emit(trace.Span{
+						Kind:   trace.KindDFSRead,
+						Name:   "dfs.read.failed",
+						Node:   node,
+						Bytes:  int64(len(data)),
+						Detail: path,
+						Status: "failed",
+						VStart: fs.trace.VirtualNow(),
+						RStart: fs.trace.RealNow(),
+					})
+				}
+				continue
+			}
 			if hasSum && checksumOf(data) != want {
 				fs.stats.CorruptReads++
 				continue // fail over to the next replica
@@ -350,9 +389,14 @@ func (fs *FileSystem) ResetStats() {
 	fs.stats = Stats{}
 }
 
-// DataNodes exposes the simulated datanodes (for balance inspection).
+// DataNodes exposes the simulated datanodes (for balance inspection). The
+// returned slice is a snapshot: ReviveDataNode may swap entries later.
 func (fs *FileSystem) DataNodes() []*DataNode {
-	return fs.nodes
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]*DataNode, len(fs.nodes))
+	copy(out, fs.nodes)
+	return out
 }
 
 // validPath enforces absolute, slash-rooted HDFS-style paths.

@@ -1,0 +1,363 @@
+// Package faults is the deterministic fault-injection layer of the
+// simulated Hadoop stack. A seeded Injector owns a Plan of fault sites —
+// task-attempt crashes, node deaths at a virtual time, slow nodes, and DFS
+// block-read errors — and both the MapReduce engine and the DFS consult it
+// on their hot paths. Every decision is a pure function of the plan seed
+// and the site identity (job, phase, task, attempt, path, node), never of
+// goroutine scheduling order, so a faulted run is bit-reproducible: the
+// same seed yields the same crashes, the same recovery schedule, and —
+// because recovery is lossless — the same job output as the fault-free
+// run.
+//
+// The package is a leaf: it imports neither the engine nor the DFS, so
+// both can depend on it without cycles.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phases a task-level fault can target.
+const (
+	PhaseMap    = "map"
+	PhaseReduce = "reduce"
+)
+
+// TaskCrash declares targeted attempt crashes: attempts 1..UpToAttempt of
+// the matching task fail, so attempt UpToAttempt+1 (if the retry budget
+// allows one) succeeds. Empty/negative selector fields match anything.
+type TaskCrash struct {
+	// Job matches the job name exactly; "" matches every job.
+	Job string
+	// Phase is PhaseMap or PhaseReduce; "" matches both.
+	Phase string
+	// Task is the task index within the phase; -1 matches every task.
+	Task int
+	// UpToAttempt is the last attempt number that crashes (1-based).
+	UpToAttempt int
+}
+
+func (tc TaskCrash) matches(job, phase string, task int) bool {
+	if tc.Job != "" && tc.Job != job {
+		return false
+	}
+	if tc.Phase != "" && tc.Phase != phase {
+		return false
+	}
+	if tc.Task >= 0 && tc.Task != task {
+		return false
+	}
+	return true
+}
+
+// NodeDeath kills a simulated cluster node at a point on the global
+// virtual clock. The node never comes back: running attempts on it are
+// killed, completed map output it holds is lost, and it receives no
+// further work.
+type NodeDeath struct {
+	Node int
+	At   time.Duration
+}
+
+// SlowNode models a flaky machine: every attempt placed on Node runs
+// Factor times longer than nominal (Factor ≥ 1).
+type SlowNode struct {
+	Node   int
+	Factor float64
+}
+
+// BlockError declares DFS block-read failures: reads of blocks of files
+// under PathPrefix served by Node fail (an I/O error mid-transfer), at
+// most Times times (0 = every read).
+type BlockError struct {
+	// PathPrefix selects files; "" matches every path.
+	PathPrefix string
+	// Node selects the serving datanode; -1 matches every node.
+	Node int
+	// Times caps how often this rule fires; 0 means unlimited.
+	Times int
+}
+
+// Plan declares everything an Injector will break. The zero Plan injects
+// nothing; all probabilistic sites are derived deterministically from
+// Seed.
+type Plan struct {
+	// Seed drives every probabilistic decision.
+	Seed int64
+	// TaskCrashProb is the chance a given task attempt crashes, decided by
+	// hashing (seed, job, phase, task, attempt) — independent of execution
+	// order.
+	TaskCrashProb float64
+	// MaxCrashesPerTask caps probabilistic crashes of one task, so a plan
+	// with MaxCrashesPerTask below the engine's retry budget always lets
+	// the job finish. 0 means unbounded (targeted TaskCrash entries are
+	// exempt: they state their own attempt bound).
+	MaxCrashesPerTask int
+	// Crashes are targeted attempt failures.
+	Crashes []TaskCrash
+	// NodeDeaths kill cluster nodes at virtual times.
+	NodeDeaths []NodeDeath
+	// SlowNodes dilate task durations per node.
+	SlowNodes []SlowNode
+	// BlockReadErrorProb is the chance a single DFS replica read fails,
+	// decided by hashing (seed, path, node, ordinal).
+	BlockReadErrorProb float64
+	// BlockErrors are targeted DFS read failures.
+	BlockErrors []BlockError
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool {
+	return p.TaskCrashProb == 0 && len(p.Crashes) == 0 &&
+		len(p.NodeDeaths) == 0 && len(p.SlowNodes) == 0 &&
+		p.BlockReadErrorProb == 0 && len(p.BlockErrors) == 0
+}
+
+// Validate rejects malformed plans.
+func (p Plan) Validate() error {
+	if p.TaskCrashProb < 0 || p.TaskCrashProb > 1 {
+		return fmt.Errorf("faults: crash probability %v out of [0,1]", p.TaskCrashProb)
+	}
+	if p.BlockReadErrorProb < 0 || p.BlockReadErrorProb > 1 {
+		return fmt.Errorf("faults: block-read error probability %v out of [0,1]", p.BlockReadErrorProb)
+	}
+	for _, s := range p.SlowNodes {
+		if s.Factor < 1 {
+			return fmt.Errorf("faults: slow node %d factor %v must be >= 1", s.Node, s.Factor)
+		}
+	}
+	for _, d := range p.NodeDeaths {
+		if d.Node < 0 {
+			return fmt.Errorf("faults: node death on negative node %d", d.Node)
+		}
+	}
+	return nil
+}
+
+// Injector answers fault queries for one plan. It is safe for concurrent
+// use; a nil *Injector is the disabled state and every method on it is an
+// inject-nothing no-op.
+type Injector struct {
+	plan Plan
+
+	mu         sync.Mutex
+	counts     map[string]int64
+	blockFired []int          // per-BlockError fire count
+	blockSeen  map[string]int // path/node -> reads observed (probabilistic ordinal)
+}
+
+// New returns an injector for the plan.
+func New(plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		plan:       plan,
+		counts:     make(map[string]int64),
+		blockFired: make([]int, len(plan.BlockErrors)),
+		blockSeen:  make(map[string]int),
+	}, nil
+}
+
+// MustNew is New panicking on error.
+func MustNew(plan Plan) *Injector {
+	in, err := New(plan)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan {
+	if in == nil {
+		return Plan{}
+	}
+	return in.plan
+}
+
+// Enabled reports whether the injector can inject anything.
+func (in *Injector) Enabled() bool { return in != nil && !in.plan.Empty() }
+
+// CrashAttempt reports whether the given attempt of a task crashes, and
+// if so how far through its work the crash lands (a fraction in
+// (0,1]). priorCrashes is how many attempts of this task have already
+// crashed; the probabilistic path uses it to honor MaxCrashesPerTask.
+// The decision is a pure function of (seed, job, phase, task, attempt).
+func (in *Injector) CrashAttempt(job, phase string, task, attempt, priorCrashes int) (bool, float64) {
+	if in == nil {
+		return false, 0
+	}
+	for _, tc := range in.plan.Crashes {
+		if tc.matches(job, phase, task) && attempt <= tc.UpToAttempt {
+			in.count("task.crash.targeted")
+			return true, failPoint(in.plan.Seed, job, phase, task, attempt)
+		}
+	}
+	if p := in.plan.TaskCrashProb; p > 0 {
+		if in.plan.MaxCrashesPerTask > 0 && priorCrashes >= in.plan.MaxCrashesPerTask {
+			return false, 0
+		}
+		h := siteHash(in.plan.Seed, "crash", job, phase, task, attempt)
+		if unit(h) < p {
+			in.count("task.crash.random")
+			return true, failPoint(in.plan.Seed, job, phase, task, attempt)
+		}
+	}
+	return false, 0
+}
+
+// DeathOf returns the earliest planned death time of a cluster node on
+// the global virtual clock.
+func (in *Injector) DeathOf(node int) (time.Duration, bool) {
+	if in == nil {
+		return 0, false
+	}
+	var at time.Duration
+	found := false
+	for _, d := range in.plan.NodeDeaths {
+		if d.Node == node && (!found || d.At < at) {
+			at, found = d.At, true
+		}
+	}
+	return at, found
+}
+
+// NodeDeaths returns all planned deaths sorted by (time, node).
+func (in *Injector) NodeDeaths() []NodeDeath {
+	if in == nil {
+		return nil
+	}
+	out := make([]NodeDeath, len(in.plan.NodeDeaths))
+	copy(out, in.plan.NodeDeaths)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// SlowFactor returns the duration multiplier for a node (1.0 when the
+// node is healthy).
+func (in *Injector) SlowFactor(node int) float64 {
+	if in == nil {
+		return 1
+	}
+	f := 1.0
+	for _, s := range in.plan.SlowNodes {
+		if s.Node == node && s.Factor > f {
+			f = s.Factor
+		}
+	}
+	return f
+}
+
+// FailBlockRead reports whether a DFS read of a block of path served by
+// datanode node fails. Targeted BlockErrors fire first (bounded by their
+// Times); the probabilistic site hashes (seed, path, node, ordinal) where
+// ordinal counts reads of that path/node pair.
+func (in *Injector) FailBlockRead(path string, node int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, be := range in.plan.BlockErrors {
+		if be.PathPrefix != "" && !strings.HasPrefix(path, be.PathPrefix) {
+			continue
+		}
+		if be.Node >= 0 && be.Node != node {
+			continue
+		}
+		if be.Times > 0 && in.blockFired[i] >= be.Times {
+			continue
+		}
+		in.blockFired[i]++
+		in.counts["dfs.read.targeted"]++
+		return true
+	}
+	if p := in.plan.BlockReadErrorProb; p > 0 {
+		key := fmt.Sprintf("%s#%d", path, node)
+		ord := in.blockSeen[key]
+		in.blockSeen[key] = ord + 1
+		h := siteHash(in.plan.Seed, "dfsread", path, "", node, ord)
+		if unit(h) < p {
+			in.counts["dfs.read.random"]++
+			return true
+		}
+	}
+	return false
+}
+
+// count bumps an injection counter.
+func (in *Injector) count(name string) {
+	in.mu.Lock()
+	in.counts[name]++
+	in.mu.Unlock()
+}
+
+// Counts snapshots how many faults of each kind have been injected.
+func (in *Injector) Counts() map[string]int64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int64, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Injected totals all injected faults.
+func (in *Injector) Injected() int64 {
+	var n int64
+	for _, v := range in.Counts() {
+		n += v
+	}
+	return n
+}
+
+// failPoint derives a crash point in [0.1, 0.95] of the attempt's nominal
+// duration from the site identity.
+func failPoint(seed int64, job, phase string, task, attempt int) float64 {
+	return 0.1 + 0.85*unit(siteHash(seed, "failpoint", job, phase, task, attempt))
+}
+
+// siteHash folds a fault site's identity into 64 bits, FNV-1a over the
+// textual fields then SplitMix64-finalized with the numeric ones.
+func siteHash(seed int64, kind, a, b string, x, y int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // field separator
+		h *= prime64
+	}
+	mix(kind)
+	mix(a)
+	mix(b)
+	z := h ^ uint64(seed) ^ uint64(x)<<32 ^ uint64(uint32(y))
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// unit maps a hash to [0,1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}

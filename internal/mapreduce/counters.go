@@ -64,3 +64,22 @@ const (
 	CounterReduceOutput       = "reduce.output.records"
 	CounterShuffleBytes       = "shuffle.bytes"
 )
+
+// Recovery counter names, maintained by the fault-aware scheduler when an
+// injector is attached (all zero on fault-free runs).
+const (
+	// CounterTaskAttempts counts every scheduled attempt, retries and
+	// re-executions included.
+	CounterTaskAttempts = "task.attempts"
+	// CounterTaskFailures counts attempts that crashed (consuming retry
+	// budget).
+	CounterTaskFailures = "task.failures"
+	// CounterTaskKilled counts attempts lost to node deaths or discarded
+	// map output — Hadoop's KILLED state.
+	CounterTaskKilled = "task.killed"
+	// CounterMapReexecutions counts completed map tasks re-executed after
+	// their node died before the shuffle drained.
+	CounterMapReexecutions = "map.reexecutions"
+	// CounterNodesBlacklisted counts nodes blacklisted during the job.
+	CounterNodesBlacklisted = "node.blacklisted"
+)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/metagenomics/mrmcminh/internal/faults"
 	"github.com/metagenomics/mrmcminh/internal/trace"
 )
 
@@ -24,6 +25,12 @@ type Result struct {
 	Real       time.Duration
 	MapTasks   int
 	ReduceTask int
+	// Attempts is the full attempt log of a faulted run (nil when the
+	// engine has no injector): every scheduled attempt with its node,
+	// virtual window and outcome, re-executions included.
+	Attempts []TaskAttempt
+	// Blacklisted lists nodes blacklisted during the job.
+	Blacklisted []int
 }
 
 // Engine executes jobs on a simulated cluster.
@@ -40,6 +47,16 @@ type Engine struct {
 	// cluster timeline. A nil recorder costs nothing (all emission is
 	// guarded, and trace methods are nil-safe no-ops).
 	Trace *trace.Recorder
+	// Faults, when non-nil and non-empty, switches virtual scheduling to
+	// the fault-aware simulator: injected task crashes retry with backoff,
+	// planned node deaths kill running attempts and force re-execution of
+	// completed maps, and failing nodes are blacklisted — all per Retry.
+	// Job output is unaffected (recovery is lossless); only the virtual
+	// timeline, counters and trace change.
+	Faults *faults.Injector
+	// Retry governs attempt budgets, backoff and blacklisting when Faults
+	// is set; the zero value means DefaultRetryPolicy.
+	Retry RetryPolicy
 }
 
 // NewEngine returns an engine for the cluster.
@@ -110,6 +127,29 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	for _, sp := range splits {
 		mapCosts = append(mapCosts, e.Cluster.mapTaskCost(sp, job.MapCostFactor))
 	}
+	// With an injector attached, the fault simulator replaces the plain
+	// list scheduler. It runs before the real map work so a task that
+	// exhausts its retry budget fails the job up front, as Hadoop would.
+	inj := e.Faults
+	if !inj.Enabled() {
+		inj = nil
+	}
+	var sim *faultSim
+	var simMapTasks []*simTask
+	if inj != nil {
+		sim = newFaultSim(e.Cluster, inj, e.Retry, job.Name, vbase)
+		simMapTasks = sim.newTasks(mapCosts, 0)
+		if err := sim.runPhase(faults.PhaseMap, simMapTasks); err != nil {
+			return nil, err
+		}
+		if job.Reduce != nil {
+			// Map output lost to a node death during the map window must
+			// be recomputed before reducers can fetch it.
+			if err := sim.reexecuteMapsLostInMapWindow(simMapTasks); err != nil {
+				return nil, err
+			}
+		}
+	}
 	// Per-task real durations and combine stats, recorded only when
 	// tracing (indexed by task, so no locking needed).
 	var mapReal, combineReal []time.Duration
@@ -155,34 +195,43 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		return nil, err
 	}
 
-	mapPlacements, mapMakespan := e.Cluster.Schedule(mapCosts)
+	var mapMakespan time.Duration
 	mapStart := vbase + e.Cluster.Cost.JobStartup
-	if rec.Enabled() {
-		for _, pl := range mapPlacements {
-			sp := splits[pl.Task]
-			rec.Emit(trace.Span{
-				Parent:  jobRef.ID,
-				Kind:    trace.KindMap,
-				Name:    fmt.Sprintf("%s/map[%d]", job.Name, pl.Task),
-				Node:    pl.Node,
-				Records: int64(len(sp.Records)),
-				Bytes:   int64(sp.Bytes),
-				VStart:  mapStart + pl.Start,
-				VDur:    pl.End - pl.Start,
-				RStart:  rec.RealNow(),
-				RDur:    mapReal[pl.Task],
-			})
-			if job.Combine != nil {
+	if sim == nil {
+		mapPlacements, makespan := e.Cluster.Schedule(mapCosts)
+		mapMakespan = makespan
+		if rec.Enabled() {
+			for _, pl := range mapPlacements {
+				sp := splits[pl.Task]
 				rec.Emit(trace.Span{
 					Parent:  jobRef.ID,
-					Kind:    trace.KindCombine,
-					Name:    fmt.Sprintf("%s/combine[%d]", job.Name, pl.Task),
+					Kind:    trace.KindMap,
+					Name:    fmt.Sprintf("%s/map[%d]", job.Name, pl.Task),
 					Node:    pl.Node,
-					Records: combineOut[pl.Task],
-					VStart:  mapStart + pl.End,
-					RDur:    combineReal[pl.Task],
+					Records: int64(len(sp.Records)),
+					Bytes:   int64(sp.Bytes),
+					VStart:  mapStart + pl.Start,
+					VDur:    pl.End - pl.Start,
+					RStart:  rec.RealNow(),
+					RDur:    mapReal[pl.Task],
 				})
+				if job.Combine != nil {
+					rec.Emit(trace.Span{
+						Parent:  jobRef.ID,
+						Kind:    trace.KindCombine,
+						Name:    fmt.Sprintf("%s/combine[%d]", job.Name, pl.Task),
+						Node:    pl.Node,
+						Records: combineOut[pl.Task],
+						VStart:  mapStart + pl.End,
+						RDur:    combineReal[pl.Task],
+					})
+				}
 			}
+		}
+	} else {
+		mapMakespan = maxTaskEnd(simMapTasks)
+		if rec.Enabled() {
+			e.emitMapAttempts(rec, jobRef, job, sim, simMapTasks, splits, mapStart, mapReal, combineReal, combineOut)
 		}
 	}
 
@@ -198,6 +247,11 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 			Virtual:  e.Cluster.Cost.JobStartup + mapMakespan,
 			Real:     time.Since(start),
 			MapTasks: len(splits),
+		}
+		if sim != nil {
+			sim.recordCounters(counters)
+			res.Attempts = sim.attempts
+			res.Blacklisted = sim.blacklistedNodes()
 		}
 		rec.AdvanceVirtual(res.Virtual)
 		return res, nil
@@ -225,6 +279,21 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	var reduceCosts []TaskCost
 	for p := range partitions {
 		reduceCosts = append(reduceCosts, e.Cluster.reduceTaskCost(len(partitions[p]), shuffleBytes[p], job.ReduceCostFactor))
+	}
+	var simReduceTasks []*simTask
+	if sim != nil {
+		// Simulate reduce recovery before the real reduce work so a
+		// reducer that exhausts its retry budget fails the job first.
+		sim.barrier(mapMakespan)
+		simReduceTasks = sim.newTasks(reduceCosts, mapMakespan)
+		if err := sim.runPhase(faults.PhaseReduce, simReduceTasks); err != nil {
+			return nil, err
+		}
+		// Nodes dying during the shuffle lose completed map output; Hadoop
+		// re-executes those maps and reruns the fetching reducers.
+		if err := sim.reexecuteMapsLostInShuffle(simMapTasks, simReduceTasks, shuffleBytes); err != nil {
+			return nil, err
+		}
 	}
 	var reduceReal []time.Duration
 	if rec.Enabled() {
@@ -265,50 +334,16 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		return nil, err
 	}
 
-	reducePlacements, reduceMakespan := e.Cluster.Schedule(reduceCosts)
-	if rec.Enabled() {
-		reduceStart := mapStart + mapMakespan
-		for _, pl := range reducePlacements {
-			p := pl.Task
-			id := rec.Emit(trace.Span{
-				Parent:  jobRef.ID,
-				Kind:    trace.KindReduce,
-				Name:    fmt.Sprintf("%s/reduce[%d]", job.Name, p),
-				Node:    pl.Node,
-				Records: int64(len(partitions[p])),
-				Bytes:   int64(shuffleBytes[p]),
-				VStart:  reduceStart + pl.Start,
-				VDur:    pl.End - pl.Start,
-				RStart:  rec.RealNow(),
-				RDur:    reduceReal[p],
-			})
-			// The reduce window models startup, then the shuffle transfer
-			// of this partition's bytes, then sort + reduce compute. Emit
-			// the transfer as a child interval and the sort as an instant
-			// marker at its end, mirroring Hadoop's task phases.
-			shufDur := time.Duration(float64(shuffleBytes[p]) * float64(e.Cluster.Cost.ShufflePerByte))
-			if window := pl.End - pl.Start - e.Cluster.Cost.TaskStartup; shufDur > window && window > 0 {
-				shufDur = window
-			}
-			shufStart := reduceStart + pl.Start + e.Cluster.Cost.TaskStartup
-			rec.Emit(trace.Span{
-				Parent: id,
-				Kind:   trace.KindShuffle,
-				Name:   fmt.Sprintf("%s/shuffle[%d]", job.Name, p),
-				Node:   pl.Node,
-				Bytes:  int64(shuffleBytes[p]),
-				VStart: shufStart,
-				VDur:   shufDur,
-			})
-			rec.Emit(trace.Span{
-				Parent:  id,
-				Kind:    trace.KindSort,
-				Name:    fmt.Sprintf("%s/sort[%d]", job.Name, p),
-				Node:    pl.Node,
-				Records: int64(len(partitions[p])),
-				VStart:  shufStart + shufDur,
-			})
+	var reduceMakespan time.Duration
+	if sim == nil {
+		reducePlacements, makespan := e.Cluster.Schedule(reduceCosts)
+		reduceMakespan = makespan
+		if rec.Enabled() {
+			reduceStart := mapStart + mapMakespan
+			e.emitReducePlacements(rec, jobRef, job, reducePlacements, partitions, shuffleBytes, reduceStart, reduceReal)
 		}
+	} else if rec.Enabled() {
+		e.emitReduceAttempts(rec, jobRef, job, sim, simReduceTasks, partitions, shuffleBytes, mapStart, reduceReal)
 	}
 
 	var output []KeyValue
@@ -323,8 +358,159 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		MapTasks:   len(splits),
 		ReduceTask: numRed,
 	}
+	if sim != nil {
+		// The simulated timeline already contains the reduce phase (and
+		// any re-executions), so the job's virtual span is its makespan.
+		res.Virtual = e.Cluster.Cost.JobStartup + sim.makespan()
+		sim.recordCounters(counters)
+		res.Attempts = sim.attempts
+		res.Blacklisted = sim.blacklistedNodes()
+	}
 	rec.AdvanceVirtual(res.Virtual)
 	return res, nil
+}
+
+// emitReducePlacements renders the fault-free reduce schedule as trace
+// spans (one reduce span per task with shuffle and sort children).
+func (e *Engine) emitReducePlacements(rec *trace.Recorder, jobRef trace.SpanRef, job *Job, reducePlacements []TaskPlacement, partitions [][]KeyValue, shuffleBytes []int, reduceStart time.Duration, reduceReal []time.Duration) {
+	for _, pl := range reducePlacements {
+		p := pl.Task
+		id := rec.Emit(trace.Span{
+			Parent:  jobRef.ID,
+			Kind:    trace.KindReduce,
+			Name:    fmt.Sprintf("%s/reduce[%d]", job.Name, p),
+			Node:    pl.Node,
+			Records: int64(len(partitions[p])),
+			Bytes:   int64(shuffleBytes[p]),
+			VStart:  reduceStart + pl.Start,
+			VDur:    pl.End - pl.Start,
+			RStart:  rec.RealNow(),
+			RDur:    reduceReal[p],
+		})
+		// The reduce window models startup, then the shuffle transfer
+		// of this partition's bytes, then sort + reduce compute. Emit
+		// the transfer as a child interval and the sort as an instant
+		// marker at its end, mirroring Hadoop's task phases.
+		shufDur := time.Duration(float64(shuffleBytes[p]) * float64(e.Cluster.Cost.ShufflePerByte))
+		if window := pl.End - pl.Start - e.Cluster.Cost.TaskStartup; shufDur > window && window > 0 {
+			shufDur = window
+		}
+		shufStart := reduceStart + pl.Start + e.Cluster.Cost.TaskStartup
+		rec.Emit(trace.Span{
+			Parent: id,
+			Kind:   trace.KindShuffle,
+			Name:   fmt.Sprintf("%s/shuffle[%d]", job.Name, p),
+			Node:   pl.Node,
+			Bytes:  int64(shuffleBytes[p]),
+			VStart: shufStart,
+			VDur:   shufDur,
+		})
+		rec.Emit(trace.Span{
+			Parent:  id,
+			Kind:    trace.KindSort,
+			Name:    fmt.Sprintf("%s/sort[%d]", job.Name, p),
+			Node:    pl.Node,
+			Records: int64(len(partitions[p])),
+			VStart:  shufStart + shufDur,
+		})
+	}
+}
+
+// emitMapAttempts renders a faulted map phase: one span per attempt
+// (crashed and killed ones included, with attempt number, status and
+// reason) and combine spans for the attempts whose output survived. Real
+// durations attach to final attempts only — that is the execution that
+// actually ran on this machine.
+func (e *Engine) emitMapAttempts(rec *trace.Recorder, jobRef trace.SpanRef, job *Job, sim *faultSim, tasks []*simTask, splits []InputSplit, mapStart time.Duration, mapReal, combineReal []time.Duration, combineOut []int64) {
+	for i, a := range sim.attempts {
+		if a.Phase != faults.PhaseMap {
+			continue
+		}
+		sp := splits[a.Task]
+		final := tasks[a.Task].final == i
+		span := trace.Span{
+			Parent:  jobRef.ID,
+			Kind:    trace.KindMap,
+			Name:    fmt.Sprintf("%s/map[%d]", job.Name, a.Task),
+			Node:    a.Node,
+			Records: int64(len(sp.Records)),
+			Bytes:   int64(sp.Bytes),
+			Detail:  a.Reason,
+			Attempt: a.Attempt,
+			Status:  a.Outcome.String(),
+			VStart:  mapStart + a.Start,
+			VDur:    a.End - a.Start,
+		}
+		if final {
+			span.RStart = rec.RealNow()
+			span.RDur = mapReal[a.Task]
+		}
+		rec.Emit(span)
+		if final && job.Combine != nil {
+			rec.Emit(trace.Span{
+				Parent:  jobRef.ID,
+				Kind:    trace.KindCombine,
+				Name:    fmt.Sprintf("%s/combine[%d]", job.Name, a.Task),
+				Node:    a.Node,
+				Records: combineOut[a.Task],
+				Attempt: a.Attempt,
+				VStart:  mapStart + a.End,
+				RDur:    combineReal[a.Task],
+			})
+		}
+	}
+}
+
+// emitReduceAttempts renders a faulted reduce phase: every attempt as a
+// span, with shuffle and sort children on the surviving attempts.
+func (e *Engine) emitReduceAttempts(rec *trace.Recorder, jobRef trace.SpanRef, job *Job, sim *faultSim, tasks []*simTask, partitions [][]KeyValue, shuffleBytes []int, mapStart time.Duration, reduceReal []time.Duration) {
+	for i, a := range sim.attempts {
+		if a.Phase != faults.PhaseReduce {
+			continue
+		}
+		p := a.Task
+		final := tasks[p].final == i
+		span := trace.Span{
+			Parent:  jobRef.ID,
+			Kind:    trace.KindReduce,
+			Name:    fmt.Sprintf("%s/reduce[%d]", job.Name, p),
+			Node:    a.Node,
+			Records: int64(len(partitions[p])),
+			Bytes:   int64(shuffleBytes[p]),
+			Detail:  a.Reason,
+			Attempt: a.Attempt,
+			Status:  a.Outcome.String(),
+			VStart:  mapStart + a.Start,
+			VDur:    a.End - a.Start,
+		}
+		if final {
+			span.RStart = rec.RealNow()
+			span.RDur = reduceReal[p]
+		}
+		id := rec.Emit(span)
+		if !final {
+			continue
+		}
+		shufStart, shufEnd := sim.shuffleWindow(a, shuffleBytes[p])
+		rec.Emit(trace.Span{
+			Parent: id,
+			Kind:   trace.KindShuffle,
+			Name:   fmt.Sprintf("%s/shuffle[%d]", job.Name, p),
+			Node:   a.Node,
+			Bytes:  int64(shuffleBytes[p]),
+			VStart: mapStart + shufStart,
+			VDur:   shufEnd - shufStart,
+		})
+		rec.Emit(trace.Span{
+			Parent:  id,
+			Kind:    trace.KindSort,
+			Name:    fmt.Sprintf("%s/sort[%d]", job.Name, p),
+			Node:    a.Node,
+			Records: int64(len(partitions[p])),
+			Attempt: a.Attempt,
+			VStart:  mapStart + shufEnd,
+		})
+	}
 }
 
 // combine applies the combiner to one map task's output.

@@ -8,7 +8,10 @@
 // model behind the paper's Figure 2 scalability study.
 package mapreduce
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // KeyValue is one record flowing through a job.
 type KeyValue struct {
@@ -124,6 +127,119 @@ func (j *Job) Validate() error {
 		return fmt.Errorf("mapreduce: job %q has a combiner but no reducer", j.Name)
 	}
 	return nil
+}
+
+// AttemptOutcome classifies how one task attempt ended on the simulated
+// cluster.
+type AttemptOutcome uint8
+
+// Attempt outcomes.
+const (
+	// AttemptSuccess: the attempt ran to completion; its output is the
+	// task's output.
+	AttemptSuccess AttemptOutcome = iota
+	// AttemptCrashed: an injected fault failed the attempt; it counts
+	// against the task's retry budget and the node's blacklist threshold.
+	AttemptCrashed
+	// AttemptKilled: the attempt was lost through no fault of its own
+	// (node death, or a completed map whose output was lost before the
+	// shuffle drained). Killed attempts do not consume the retry budget,
+	// matching Hadoop's KILLED vs FAILED distinction.
+	AttemptKilled
+)
+
+// String names the outcome for traces and errors.
+func (o AttemptOutcome) String() string {
+	switch o {
+	case AttemptSuccess:
+		return "success"
+	case AttemptCrashed:
+		return "crashed"
+	case AttemptKilled:
+		return "killed"
+	default:
+		return "unknown"
+	}
+}
+
+// TaskAttempt is one scheduled attempt on the job's virtual timeline
+// (times are relative to the end of job startup). The full attempt log of
+// a faulted run is exposed on Result for tests and trace export.
+type TaskAttempt struct {
+	// Phase is faults.PhaseMap or faults.PhaseReduce.
+	Phase string
+	// Task indexes the task within its phase; Attempt is 1-based.
+	Task    int
+	Attempt int
+	// Node and Slot locate the simulated machine.
+	Node int
+	Slot int
+	// Start and End bound the attempt on the job-relative virtual clock.
+	Start   time.Duration
+	End     time.Duration
+	Outcome AttemptOutcome
+	// Reason explains non-success outcomes ("injected crash", "node 2
+	// died", "map output lost").
+	Reason string
+}
+
+// RetryPolicy governs task recovery on the simulated cluster, mirroring
+// Hadoop's mapred.map/reduce.max.attempts and host blacklisting.
+type RetryPolicy struct {
+	// MaxAttempts is the per-task attempt budget including the first run
+	// (Hadoop default 4). Crashed attempts consume it; killed ones do not.
+	MaxAttempts int
+	// Backoff is the virtual-time delay before the first retry; each
+	// further retry multiplies it by BackoffFactor (exponential backoff).
+	Backoff time.Duration
+	// BackoffFactor defaults to 2.
+	BackoffFactor float64
+	// BlacklistAfter is how many crashed attempts on one node blacklist it
+	// for the rest of the job (Hadoop's mapred.max.tracker.failures). The
+	// last usable node is never blacklisted.
+	BlacklistAfter int
+}
+
+// DefaultRetryPolicy mirrors a stock Hadoop configuration.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts:    4,
+	Backoff:        3 * time.Second,
+	BackoffFactor:  2,
+	BlacklistAfter: 3,
+}
+
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetryPolicy.MaxAttempts
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = DefaultRetryPolicy.Backoff
+	}
+	if p.BackoffFactor < 1 {
+		p.BackoffFactor = DefaultRetryPolicy.BackoffFactor
+	}
+	if p.BlacklistAfter <= 0 {
+		p.BlacklistAfter = DefaultRetryPolicy.BlacklistAfter
+	}
+	return p
+}
+
+// TaskFailedError reports a job killed because one task exhausted its
+// retry budget (or ran out of usable nodes) — the simulated analogue of
+// Hadoop's "Task failed N times" job failure. Use errors.As to detect it.
+type TaskFailedError struct {
+	Job      string
+	Phase    string
+	Task     int
+	Attempts int
+	Reason   string
+}
+
+// Error formats the failure Hadoop-style.
+func (e *TaskFailedError) Error() string {
+	return fmt.Sprintf("mapreduce: job %q %s task %d failed after %d attempts: %s",
+		e.Job, e.Phase, e.Task, e.Attempts, e.Reason)
 }
 
 // Job specifies one MapReduce computation.

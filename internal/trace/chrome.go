@@ -35,6 +35,8 @@ type chromeArgs struct {
 	Records    int64  `json:"records,omitempty"`
 	Bytes      int64  `json:"bytes,omitempty"`
 	Detail     string `json:"detail,omitempty"`
+	Attempt    int    `json:"attempt,omitempty"`
+	Status     string `json:"status,omitempty"`
 	RealUS     int64  `json:"real_us,omitempty"`
 }
 
@@ -85,6 +87,8 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 				Records: s.Records,
 				Bytes:   s.Bytes,
 				Detail:  s.Detail,
+				Attempt: s.Attempt,
+				Status:  s.Status,
 				RealUS:  s.RDur.Microseconds(),
 			},
 		}

@@ -18,6 +18,8 @@ type jsonlSpan struct {
 	Records  int64  `json:"records,omitempty"`
 	Bytes    int64  `json:"bytes,omitempty"`
 	Detail   string `json:"detail,omitempty"`
+	Attempt  int    `json:"attempt,omitempty"`
+	Status   string `json:"status,omitempty"`
 	VStartUS int64  `json:"v_start_us"`
 	VDurUS   int64  `json:"v_dur_us"`
 	RStartUS int64  `json:"r_start_us"`
@@ -37,6 +39,8 @@ func WriteJSONL(w io.Writer, spans []Span) error {
 			Records:  s.Records,
 			Bytes:    s.Bytes,
 			Detail:   s.Detail,
+			Attempt:  s.Attempt,
+			Status:   s.Status,
 			VStartUS: s.VStart.Microseconds(),
 			VDurUS:   s.VDur.Microseconds(),
 			RStartUS: s.RStart.Microseconds(),

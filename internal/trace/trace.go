@@ -81,8 +81,15 @@ type Span struct {
 	// Records and Bytes quantify the work (input records, moved bytes).
 	Records int64
 	Bytes   int64
-	// Detail carries small freeform context (a DFS path, "local"/"remote").
+	// Detail carries small freeform context (a DFS path, "local"/"remote",
+	// a fault-injection failure reason).
 	Detail string
+	// Attempt is the 1-based task attempt number on faulted runs (0 when
+	// fault injection is off — the span is the only attempt).
+	Attempt int
+	// Status is the attempt outcome on faulted runs ("success", "crashed",
+	// "killed"; empty means success).
+	Status string
 	// VStart/VDur locate the span on the virtual cluster timeline.
 	VStart time.Duration
 	VDur   time.Duration
