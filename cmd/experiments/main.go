@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"github.com/metagenomics/mrmcminh/internal/bench"
+	"github.com/metagenomics/mrmcminh/internal/checkpoint"
 	"github.com/metagenomics/mrmcminh/internal/faults"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/trace"
@@ -47,7 +48,10 @@ func run() error {
 		traceOut  = flag.String("trace", "", "write a task trace of all MrMC runs here (.jsonl = JSON lines, anything else = Chrome trace_event)")
 		faultSpec = flag.String("faults", "", "fault-injection plan for MrMC runs: 'chaos' or comma-separated crash=P,kill=NODE@DUR,... (results unchanged; modelled time includes recovery)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
+		ckptDir   = flag.String("checkpoint-dir", "", "journal every MrMC run's stages under this directory (per-run subdirectories; enables -resume)")
+		resume    checkpoint.ResumeFlag
 	)
+	flag.Var(&resume, "resume", "resume interrupted MrMC runs from -checkpoint-dir; 'force' discards all journals first")
 	flag.Parse()
 
 	var rec *trace.Recorder
@@ -69,6 +73,24 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "fault injection: %s (seed %d)\n", plan, *faultSeed)
+	}
+
+	if resume.On && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *ckptDir != "" {
+		if resume.Force {
+			if err := os.RemoveAll(*ckptDir); err != nil {
+				return err
+			}
+			resume.On = false
+		}
+		store, err := checkpoint.NewDirStore(*ckptDir)
+		if err != nil {
+			return err
+		}
+		cfg.CheckpointStore = store
+		cfg.Resume = resume.On
 	}
 
 	var subset []string

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"github.com/metagenomics/mrmcminh"
+	"github.com/metagenomics/mrmcminh/internal/checkpoint"
 	"github.com/metagenomics/mrmcminh/internal/fasta"
 	"github.com/metagenomics/mrmcminh/internal/faults"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
@@ -54,9 +55,12 @@ func run() error {
 		otu          = flag.String("otu", "", "write an OTU table (size, abundance, representative) to this file")
 		consensusOut = flag.String("consensus", "", "write per-cluster consensus sequences to this FASTA file")
 		traceOut     = flag.String("trace", "", "write a task trace here after the run (.jsonl = JSON lines, anything else = Chrome trace_event for chrome://tracing)")
-		faultSpec    = flag.String("faults", "", "fault-injection plan: 'chaos' or comma-separated crash=P,maxcrash=N,taskfail=JOB:PHASE:TASK:UPTO,kill=NODE@DUR,slow=NODE@FACTOR (clustering output is unaffected; modelled time includes recovery)")
+		faultSpec    = flag.String("faults", "", "fault-injection plan: 'chaos' or comma-separated crash=P,maxcrash=N,taskfail=JOB:PHASE:TASK:UPTO,kill=NODE@DUR,slow=NODE@FACTOR,driver-crash:after=STAGE (clustering output is unaffected; modelled time includes recovery)")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
+		ckptDir      = flag.String("checkpoint-dir", "", "journal each pipeline stage's committed output under this directory (enables -resume after a driver crash)")
+		resume       checkpoint.ResumeFlag
 	)
+	flag.Var(&resume, "resume", "resume from -checkpoint-dir, skipping stages whose checkpoint validates; 'force' discards the journal first")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -111,10 +115,29 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown linkage %q", *link)
 	}
+	if resume.On && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *ckptDir != "" {
+		journal, err := mrmcminh.OpenCheckpointDir(*ckptDir)
+		if err != nil {
+			return err
+		}
+		opt.Checkpoint = journal
+		switch {
+		case resume.Force:
+			opt.Resume = mrmcminh.ResumeForce
+		case resume.On:
+			opt.Resume = mrmcminh.ResumeOn
+		}
+	}
 
 	res, err := mrmcminh.Cluster(reads, opt)
 	if err != nil {
 		return err
+	}
+	for _, s := range res.SkippedStages {
+		fmt.Fprintf(os.Stderr, "resume: skipped stage %s (checkpoint valid)\n", s)
 	}
 
 	w := os.Stdout

@@ -24,9 +24,11 @@ import (
 	"os"
 	"strings"
 
+	"github.com/metagenomics/mrmcminh/internal/checkpoint"
 	"github.com/metagenomics/mrmcminh/internal/core"
 	"github.com/metagenomics/mrmcminh/internal/dfs"
 	"github.com/metagenomics/mrmcminh/internal/fasta"
+	"github.com/metagenomics/mrmcminh/internal/faults"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/pig"
 	"github.com/metagenomics/mrmcminh/internal/simulate"
@@ -77,9 +79,14 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "hash seed")
 		dump       = flag.String("dump", "", "DFS directory whose part files are printed after the run")
 		traceOut   = flag.String("trace", "", "write a task trace here after the run (.jsonl = JSON lines, anything else = Chrome trace_event for chrome://tracing)")
+		faultSpec  = flag.String("faults", "", "fault-injection plan, e.g. 'chaos' or driver-crash:after=store:/out/hierarchical (see mrmcminh -faults)")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
+		ckptDir    = flag.String("checkpoint-dir", "", "journal each STORE's committed bytes under this directory (enables -resume)")
+		resume     checkpoint.ResumeFlag
 	)
 	flag.Var(params, "p", "script parameter NAME=VALUE (repeatable)")
 	flag.Var(&stages, "stage", "stage a local file into the DFS: LOCAL=DFSPATH (repeatable)")
+	flag.Var(&resume, "resume", "restore STORE outputs whose checkpoint validates instead of recomputing; 'force' discards the journal first")
 	flag.Parse()
 	if *scriptPath == "" && !*algo3 && flag.NArg() > 0 {
 		*scriptPath = flag.Arg(0)
@@ -108,6 +115,39 @@ func run() error {
 	if *traceOut != "" {
 		rec = trace.New()
 	}
+	var injector *faults.Injector
+	if *faultSpec != "" {
+		plan, err := faults.ParsePlan(*faultSpec, *faultSeed)
+		if err != nil {
+			return err
+		}
+		injector, err = faults.New(plan)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fault injection: %s (seed %d)\n", plan, *faultSeed)
+	}
+	if resume.On && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	var journal *checkpoint.Journal
+	if *ckptDir != "" {
+		store, err := checkpoint.NewDirStore(*ckptDir)
+		if err != nil {
+			return err
+		}
+		if journal, err = checkpoint.Open(store, "/"); err != nil {
+			return err
+		}
+		if resume.Force {
+			if err := journal.Discard(); err != nil {
+				return err
+			}
+			resume.On = false
+		} else if resume.On && journal.Empty() {
+			return &checkpoint.MissingError{Dir: *ckptDir}
+		}
+	}
 
 	fs := dfs.MustNew(dfs.Config{NumDataNodes: *nodes, BlockSize: 256 * 1024, Replication: 3})
 	fs.SetTrace(rec)
@@ -135,9 +175,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err := core.RunScriptTraced(fs, mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel}, p, *seed, rec)
+		so := core.ScriptOptions{Trace: rec, Faults: injector, Checkpoint: journal, Resume: resume.On}
+		res, err := core.RunScriptOpts(fs, mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel}, p, *seed, so)
 		if err != nil {
 			return err
+		}
+		for _, p := range res.Restored {
+			fmt.Fprintf(os.Stderr, "resume: restored dfs:%s from checkpoint\n", p)
 		}
 		fmt.Fprintf(os.Stderr, "algorithm 3 complete: %d jobs, modelled time %v\n", res.Jobs, res.Virtual.Round(1e9))
 		fmt.Fprintf(os.Stderr, "hierarchical clusters: %d, greedy clusters: %d\n",
@@ -153,16 +197,22 @@ func run() error {
 		}
 		engine := mapreduce.MustEngine(mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel})
 		engine.Trace = rec
+		engine.Faults = injector
 		ctx := &pig.Context{
-			FS:       fs,
-			Engine:   engine,
-			Registry: registry,
-			Params:   params,
-			Seed:     *seed,
+			FS:         fs,
+			Engine:     engine,
+			Registry:   registry,
+			Params:     params,
+			Seed:       *seed,
+			Checkpoint: journal,
+			Resume:     resume.On,
 		}
 		res, err := script.Run(ctx)
 		if err != nil {
 			return err
+		}
+		for _, p := range res.Restored {
+			fmt.Fprintf(os.Stderr, "resume: restored dfs:%s from checkpoint\n", p)
 		}
 		fmt.Fprintf(os.Stderr, "script complete: %d jobs, modelled time %v, %d aliases\n",
 			res.Jobs, res.Virtual.Round(1e9), len(res.Aliases))

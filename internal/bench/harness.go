@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/metagenomics/mrmcminh/internal/baselines"
+	"github.com/metagenomics/mrmcminh/internal/checkpoint"
 	"github.com/metagenomics/mrmcminh/internal/core"
 	"github.com/metagenomics/mrmcminh/internal/fasta"
 	"github.com/metagenomics/mrmcminh/internal/faults"
@@ -49,6 +50,15 @@ type Config struct {
 	// MrMC-MinH run (baseline methods do not use the simulated cluster).
 	// Results are unchanged; the modelled time includes the recovery.
 	Faults *faults.Injector
+	// CheckpointStore, when non-nil, journals every MrMC-MinH run's
+	// stages under a per-run content-addressed directory (run name plus
+	// input hash), so an interrupted experiment sweep can resume.
+	CheckpointStore checkpoint.Store
+	// Resume consults those journals: runs whose journal has entries skip
+	// their validated stages; runs with no journal yet execute fresh (the
+	// sweep-level analogue of --resume, without the single-run CLI's
+	// missing-manifest error).
+	Resume bool
 }
 
 // DefaultConfig is a laptop-friendly configuration.
@@ -116,6 +126,17 @@ func Table(title string, rows []Row) string {
 func runMrMC(name string, reads []fasta.Record, truth []string, opt core.Options, cfg Config) (Row, error) {
 	opt.Trace = cfg.Trace
 	opt.Faults = cfg.Faults
+	if cfg.CheckpointStore != nil {
+		dir := "/" + slug(name) + "-" + core.HashReads(reads)[:12]
+		journal, err := checkpoint.Open(cfg.CheckpointStore, dir)
+		if err != nil {
+			return Row{}, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		opt.Checkpoint = journal
+		if cfg.Resume && !journal.Empty() {
+			opt.Resume = core.ResumeOn
+		}
+	}
 	res, err := core.Run(reads, opt)
 	if err != nil {
 		return Row{}, fmt.Errorf("bench: %s: %w", name, err)
@@ -148,6 +169,20 @@ func runBaseline(m baselines.Method, reads []fasta.Record, truth []string, opt b
 		sum.NumClusters = labels.NumClustersAtLeast(cfg.SimOptions.MinClusterSize + 1)
 	}
 	return Row{Method: m.Name(), Summary: sum}, nil
+}
+
+// slug makes a run name directory-safe ("MrMC-MinH^h" -> "mrmc-minh-h").
+func slug(name string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
 }
 
 // seqsOf projects record sequences.

@@ -1,0 +1,289 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/metagenomics/mrmcminh/internal/dfs"
+)
+
+// The simulated DFS must satisfy Store structurally, so pipelines can
+// checkpoint straight into the cluster's file system.
+var _ Store = (*dfs.FileSystem)(nil)
+
+func tempJournal(t *testing.T) (*Journal, *DirStore) {
+	t.Helper()
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(store, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, store
+}
+
+func TestOpenValidation(t *testing.T) {
+	store, _ := NewDirStore(t.TempDir())
+	if _, err := Open(store, "relative"); err == nil {
+		t.Fatal("relative dir accepted")
+	}
+	j, err := Open(store, "/runs/a/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Dir() != "/runs/a" {
+		t.Fatalf("trailing slash kept: %q", j.Dir())
+	}
+	if !j.Empty() || j.Len() != 0 {
+		t.Fatal("fresh journal not empty")
+	}
+}
+
+func TestCommitValidateLoadRoundTrip(t *testing.T) {
+	j, store := tempJournal(t)
+	params := map[string]string{"k": "5", "theta": "0.9"}
+	out := []byte("stage one output")
+	e, err := j.Commit("sketch", HashBytes([]byte("reads")), params, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.OutputHash != HashBytes(out) || e.Output != j.StagePath("sketch") {
+		t.Fatalf("entry wrong: %+v", e)
+	}
+
+	// A fresh Journal over the same store (a new driver process) must see
+	// the committed entry and validate it.
+	j2, err := Open(store, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 1 || j2.Stages()[0] != "sketch" {
+		t.Fatalf("reopened journal lost the entry: %v", j2.Stages())
+	}
+	got, skip, err := j2.Validate("sketch", HashBytes([]byte("reads")), params)
+	if err != nil || !skip {
+		t.Fatalf("validate: skip=%v err=%v", skip, err)
+	}
+	data, err := j2.Load(got)
+	if err != nil || string(data) != string(out) {
+		t.Fatalf("load: %q, %v", data, err)
+	}
+
+	// A stage with no entry is (false, nil): it simply has not run.
+	if _, skip, err := j2.Validate("cluster", "x", nil); skip || err != nil {
+		t.Fatalf("unknown stage: skip=%v err=%v", skip, err)
+	}
+}
+
+func TestValidateTypedErrors(t *testing.T) {
+	j, _ := tempJournal(t)
+	params := map[string]string{"theta": "0.4", "linkage": "average"}
+	if _, err := j.Commit("cluster", "in-hash", params, []byte("labels")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Changed input data.
+	_, _, err := j.Validate("cluster", "other-hash", params)
+	var im *InputMismatchError
+	if !errors.As(err, &im) || im.Stage != "cluster" {
+		t.Fatalf("want InputMismatchError, got %v", err)
+	}
+
+	// Changed parameter: the error names the differing key and both values.
+	_, _, err = j.Validate("cluster", "in-hash", map[string]string{"theta": "0.6", "linkage": "average"})
+	var pm *ParamMismatchError
+	if !errors.As(err, &pm) {
+		t.Fatalf("want ParamMismatchError, got %v", err)
+	}
+	if pm.Param != "theta" || pm.Got != "0.6" || pm.Recorded != "0.4" {
+		t.Fatalf("mismatch detail wrong: %+v", pm)
+	}
+	if !strings.Contains(pm.Error(), "theta=0.6") || !strings.Contains(pm.Error(), "--resume=force") {
+		t.Fatalf("message unhelpful: %s", pm.Error())
+	}
+
+	// Tampered committed output.
+	if err := j.store.WriteFile(j.StagePath("cluster"), []byte("rotted")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = j.Validate("cluster", "in-hash", params)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Stage != "cluster" {
+		t.Fatalf("want CorruptError, got %v", err)
+	}
+
+	// Deleted committed output.
+	if err := j.store.Remove(j.StagePath("cluster")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err = j.Validate("cluster", "in-hash", params); !errors.As(err, &ce) {
+		t.Fatalf("want CorruptError for missing output, got %v", err)
+	}
+}
+
+func TestCommitReplacesEntry(t *testing.T) {
+	j, _ := tempJournal(t)
+	if _, err := j.Commit("sketch", "a", nil, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Commit("greedy", "b", nil, []byte("g")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Commit("sketch", "a2", nil, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("recommit duplicated the entry: %v", j.Stages())
+	}
+	e, skip, err := j.Validate("sketch", "a2", nil)
+	if err != nil || !skip {
+		t.Fatalf("recommitted entry invalid: %v", err)
+	}
+	if data, _ := j.Load(e); string(data) != "v2" {
+		t.Fatalf("old bytes survived: %q", data)
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	j, store := tempJournal(t)
+	if _, err := j.Commit("sketch", "a", nil, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Empty() {
+		t.Fatal("discard left entries")
+	}
+	if got := store.List("/"); len(got) != 0 {
+		t.Fatalf("discard left files: %v", got)
+	}
+	// The journal stays usable after a discard.
+	if _, err := j.Commit("sketch", "a", nil, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashParamsCanonical(t *testing.T) {
+	a := HashParams(map[string]string{"k": "5", "theta": "0.9"})
+	b := HashParams(map[string]string{"theta": "0.9", "k": "5"})
+	if a != b {
+		t.Fatal("hash depends on map order")
+	}
+	if a == HashParams(map[string]string{"k": "5", "theta": "0.8"}) {
+		t.Fatal("different params hash equal")
+	}
+	if HashParams(nil) != HashParams(map[string]string{}) {
+		t.Fatal("nil and empty params differ")
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	if got := slugify("store:/out/clusters"); got != "store--out-clusters" {
+		t.Fatalf("slugify = %q", got)
+	}
+	if got := slugify("sketch"); got != "sketch" {
+		t.Fatalf("slugify mangled a clean name: %q", got)
+	}
+}
+
+func TestMissingErrorMessage(t *testing.T) {
+	err := &MissingError{Dir: "/tmp/ck"}
+	if !strings.Contains(err.Error(), "/tmp/ck") || !strings.Contains(err.Error(), "nothing to resume") {
+		t.Fatalf("message unhelpful: %s", err.Error())
+	}
+}
+
+func TestDirStorePathMapping(t *testing.T) {
+	root := t.TempDir()
+	store, err := NewDirStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !filepath.IsAbs(store.Root()) {
+		t.Fatalf("root not absolute: %q", store.Root())
+	}
+	if err := store.WriteFile("/a/b/data", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !store.Exists("/a/b/data") || store.Exists("/a/b") {
+		t.Fatal("Exists wrong: directories must not count as files")
+	}
+	// Escapes are confined to the root.
+	if err := store.WriteFile("/../escape", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "escape")); err != nil {
+		t.Fatal("traversal escaped the root")
+	}
+	if err := store.WriteFile("/", nil); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if err := store.Replace("/a/b/data", "/a/final"); err != nil {
+		t.Fatal(err)
+	}
+	if store.Exists("/a/b/data") || !store.Exists("/a/final") {
+		t.Fatal("Replace did not move the file")
+	}
+	got := store.List("/a/")
+	if len(got) != 1 || got[0] != "/a/final" {
+		t.Fatalf("List = %v", got)
+	}
+	if err := store.Remove("/a/final"); err != nil {
+		t.Fatal(err)
+	}
+	if store.Exists("/a/final") {
+		t.Fatal("Remove left the file")
+	}
+}
+
+func TestJournalOnSimulatedDFS(t *testing.T) {
+	fs, err := dfs.New(dfs.Config{NumDataNodes: 3, BlockSize: 64, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(fs, "/ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Commit("sketch", "h", map[string]string{"k": "5"}, []byte("sigs")); err != nil {
+		t.Fatal(err)
+	}
+	if _, skip, err := j.Validate("sketch", "h", map[string]string{"k": "5"}); !skip || err != nil {
+		t.Fatalf("DFS-backed validate failed: skip=%v err=%v", skip, err)
+	}
+}
+
+func TestResumeFlag(t *testing.T) {
+	var f ResumeFlag
+	if !f.IsBoolFlag() {
+		t.Fatal("must be a bool flag so bare -resume works")
+	}
+	cases := []struct {
+		in        string
+		on, force bool
+		str       string
+	}{
+		{"", true, false, "true"},
+		{"true", true, false, "true"},
+		{"force", true, true, "force"},
+		{"false", false, false, "false"},
+	}
+	for _, c := range cases {
+		f = ResumeFlag{}
+		if err := f.Set(c.in); err != nil {
+			t.Fatalf("Set(%q): %v", c.in, err)
+		}
+		if f.On != c.on || f.Force != c.force || f.String() != c.str {
+			t.Fatalf("Set(%q) = %+v (String %q)", c.in, f, f.String())
+		}
+	}
+	if err := f.Set("bogus"); err == nil {
+		t.Fatal("bogus value accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DirStore adapts a local OS directory to the Store interface so the
+// CLIs can checkpoint across process lifetimes: the simulated DFS dies
+// with the driver, but a --checkpoint-dir on disk survives it, which is
+// what makes `mrmcminh --resume` after a driver crash possible. Journal
+// paths ("/sketch/data") map to files under the root; Replace uses
+// os.Rename, which is atomic on POSIX filesystems.
+type DirStore struct {
+	root string
+}
+
+// NewDirStore creates (if needed) and wraps the directory root.
+func NewDirStore(root string) (*DirStore, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: resolving %q: %w", root, err)
+	}
+	if err := os.MkdirAll(abs, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating %q: %w", abs, err)
+	}
+	return &DirStore{root: abs}, nil
+}
+
+// Root returns the absolute root directory.
+func (d *DirStore) Root() string { return d.root }
+
+// local maps a journal path to a file under the root, rejecting escapes.
+func (d *DirStore) local(path string) (string, error) {
+	clean := filepath.Clean("/" + strings.TrimPrefix(path, "/"))
+	if clean == "/" {
+		return "", fmt.Errorf("checkpoint: empty path")
+	}
+	return filepath.Join(d.root, filepath.FromSlash(clean)), nil
+}
+
+// WriteFile stores data at path, creating parent directories.
+func (d *DirStore) WriteFile(path string, data []byte) error {
+	p, err := d.local(path)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(p, data, 0o644)
+}
+
+// ReadFile returns the contents of path.
+func (d *DirStore) ReadFile(path string) ([]byte, error) {
+	p, err := d.local(path)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(p)
+}
+
+// Exists reports whether path names a regular file.
+func (d *DirStore) Exists(path string) bool {
+	p, err := d.local(path)
+	if err != nil {
+		return false
+	}
+	info, err := os.Stat(p)
+	return err == nil && info.Mode().IsRegular()
+}
+
+// Replace atomically moves from onto to (os.Rename overwrites).
+func (d *DirStore) Replace(from, to string) error {
+	src, err := d.local(from)
+	if err != nil {
+		return err
+	}
+	dst, err := d.local(to)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	return os.Rename(src, dst)
+}
+
+// List returns the journal paths of all regular files under prefix,
+// sorted.
+func (d *DirStore) List(prefix string) []string {
+	var out []string
+	_ = filepath.WalkDir(d.root, func(p string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return nil
+		}
+		rel, rerr := filepath.Rel(d.root, p)
+		if rerr != nil {
+			return nil
+		}
+		jp := "/" + filepath.ToSlash(rel)
+		if strings.HasPrefix(jp, prefix) {
+			out = append(out, jp)
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out
+}
+
+// Remove deletes path.
+func (d *DirStore) Remove(path string) error {
+	p, err := d.local(path)
+	if err != nil {
+		return err
+	}
+	return os.Remove(p)
+}

@@ -1,0 +1,41 @@
+package checkpoint
+
+import "fmt"
+
+// ResumeFlag is the CLIs' --resume flag: bare `-resume` resumes from the
+// journal, `-resume=force` discards it first, `-resume=false` disables.
+// It implements flag.Value with IsBoolFlag so the bare form works.
+type ResumeFlag struct {
+	On    bool
+	Force bool
+}
+
+// String renders the current setting.
+func (r *ResumeFlag) String() string {
+	switch {
+	case r != nil && r.Force:
+		return "force"
+	case r != nil && r.On:
+		return "true"
+	default:
+		return "false"
+	}
+}
+
+// Set parses "", "true", "false" or "force".
+func (r *ResumeFlag) Set(v string) error {
+	switch v {
+	case "", "true":
+		r.On, r.Force = true, false
+	case "false":
+		r.On, r.Force = false, false
+	case "force":
+		r.On, r.Force = true, true
+	default:
+		return fmt.Errorf("want true, false or force, got %q", v)
+	}
+	return nil
+}
+
+// IsBoolFlag lets bare `-resume` mean `-resume=true`.
+func (r *ResumeFlag) IsBoolFlag() bool { return true }

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/metagenomics/mrmcminh/internal/checkpoint"
+	"github.com/metagenomics/mrmcminh/internal/cluster"
+	"github.com/metagenomics/mrmcminh/internal/fasta"
+	"github.com/metagenomics/mrmcminh/internal/metrics"
+	"github.com/metagenomics/mrmcminh/internal/minhash"
+)
+
+// Checkpoint codecs. Stage outputs are serialized with exact binary
+// representations — uint64 signature values, the float32 bit patterns
+// the similarity matrix actually stores, integer labels — so a stage
+// restored from its checkpoint is bit-identical to one that just ran.
+// That exactness is what lets a resumed pipeline reproduce the
+// uninterrupted run's clusters byte for byte.
+
+// HashReads content-addresses a read set: the SHA-256 of the canonical
+// ">id\nseq\n" rendering, the inputs hash of the sketch stage.
+func HashReads(reads []fasta.Record) string {
+	var buf []byte
+	for _, r := range reads {
+		buf = append(buf, '>')
+		buf = append(buf, r.ID...)
+		buf = append(buf, '\n')
+		buf = append(buf, r.Seq...)
+		buf = append(buf, '\n')
+	}
+	return checkpoint.HashBytes(buf)
+}
+
+// encodeSignatures renders signatures as little-endian uint64s: count,
+// then per signature its length and values.
+func encodeSignatures(sigs []minhash.Signature) []byte {
+	size := 8
+	for _, s := range sigs {
+		size += 8 + 8*len(s)
+	}
+	out := make([]byte, 0, size)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(sigs)))
+	for _, s := range sigs {
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(s)))
+		for _, v := range s {
+			out = binary.LittleEndian.AppendUint64(out, v)
+		}
+	}
+	return out
+}
+
+// decodeSignatures inverts encodeSignatures.
+func decodeSignatures(data []byte) ([]minhash.Signature, error) {
+	n, data, err := readU64(data)
+	if err != nil {
+		return nil, err
+	}
+	sigs := make([]minhash.Signature, n)
+	for i := range sigs {
+		var m uint64
+		if m, data, err = readU64(data); err != nil {
+			return nil, err
+		}
+		sig := make(minhash.Signature, m)
+		for j := range sig {
+			if sig[j], data, err = readU64(data); err != nil {
+				return nil, err
+			}
+		}
+		sigs[i] = sig
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes after signatures", len(data))
+	}
+	return sigs, nil
+}
+
+// encodeMatrix renders the strict upper triangle as the float32 bit
+// patterns the matrix stores internally, preceded by n.
+func encodeMatrix(m *cluster.Matrix) []byte {
+	n := m.N()
+	out := make([]byte, 0, 8+4*n*(n-1)/2)
+	out = binary.LittleEndian.AppendUint64(out, uint64(n))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(float32(m.Get(i, j))))
+		}
+	}
+	return out
+}
+
+// decodeMatrix inverts encodeMatrix.
+func decodeMatrix(data []byte) (*cluster.Matrix, error) {
+	n64, data, err := readU64(data)
+	if err != nil {
+		return nil, err
+	}
+	n := int(n64)
+	m, err := cluster.NewMatrix(n)
+	if err != nil {
+		return nil, err
+	}
+	if want := 4 * n * (n - 1) / 2; len(data) != want {
+		return nil, fmt.Errorf("core: matrix payload is %d bytes, want %d", len(data), want)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, float64(math.Float32frombits(binary.LittleEndian.Uint32(data))))
+			data = data[4:]
+		}
+	}
+	return m, nil
+}
+
+// encodeLabels renders cluster labels as little-endian int64s.
+func encodeLabels(labels metrics.Clustering) []byte {
+	out := make([]byte, 0, 8+8*len(labels))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(labels)))
+	for _, l := range labels {
+		out = binary.LittleEndian.AppendUint64(out, uint64(int64(l)))
+	}
+	return out
+}
+
+// decodeLabels inverts encodeLabels.
+func decodeLabels(data []byte) (metrics.Clustering, error) {
+	n, data, err := readU64(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != 8*int(n) {
+		return nil, fmt.Errorf("core: label payload is %d bytes, want %d", len(data), 8*n)
+	}
+	labels := make(metrics.Clustering, n)
+	for i := range labels {
+		var v uint64
+		v, data, _ = readU64(data)
+		labels[i] = int(int64(v))
+	}
+	return labels, nil
+}
+
+// readU64 pops one little-endian uint64 off data.
+func readU64(data []byte) (uint64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("core: truncated checkpoint data")
+	}
+	return binary.LittleEndian.Uint64(data), data[8:], nil
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/metagenomics/mrmcminh/internal/checkpoint"
 	"github.com/metagenomics/mrmcminh/internal/cluster"
 	"github.com/metagenomics/mrmcminh/internal/fasta"
 	"github.com/metagenomics/mrmcminh/internal/faults"
@@ -78,7 +79,31 @@ type Options struct {
 	Faults *faults.Injector
 	// Retry tunes recovery when Faults is set (zero = Hadoop defaults).
 	Retry mapreduce.RetryPolicy
+	// Checkpoint, when non-nil, journals each stage's committed output so
+	// a later run can resume after a driver failure. The journal records
+	// a content-addressed manifest entry (inputs hash, parameter hash,
+	// output hash) per stage.
+	Checkpoint *checkpoint.Journal
+	// Resume controls how an existing journal is consulted (requires
+	// Checkpoint). ResumeOff re-runs everything (still journaling);
+	// ResumeOn skips every stage whose manifest entry validates and fails
+	// with a typed error on a missing or mismatched manifest; ResumeForce
+	// discards the journal and starts fresh.
+	Resume ResumeMode
 }
+
+// ResumeMode is the --resume setting.
+type ResumeMode int
+
+const (
+	// ResumeOff ignores any existing checkpoint journal.
+	ResumeOff ResumeMode = iota
+	// ResumeOn resumes from the journal, erroring when it is missing or
+	// inconsistent with the current run.
+	ResumeOn
+	// ResumeForce discards the journal and runs from scratch.
+	ResumeForce
+)
 
 // withDefaults fills zero values.
 func (o Options) withDefaults() Options {
@@ -130,17 +155,107 @@ type Result struct {
 	Real time.Duration
 	// Jobs counts launched MapReduce jobs.
 	Jobs int
+	// SkippedStages lists the stages restored from the checkpoint journal
+	// instead of re-executed, in pipeline order (nil on fresh runs).
+	SkippedStages []string
 }
 
 // NumClusters returns the number of clusters in the result.
 func (r *Result) NumClusters() int { return r.Assignments.NumClusters() }
 
+// Pipeline stage names, as they appear in checkpoint manifests and the
+// driver-crash fault's AfterStage.
+const (
+	StageSketch     = "sketch"
+	StageGreedy     = "greedy"
+	StageSimilarity = "similarity"
+	StageCluster    = "cluster"
+)
+
+// ckptRunner threads the checkpoint journal and driver-crash fault
+// through the pipeline's stages.
+type ckptRunner struct {
+	journal *checkpoint.Journal
+	resume  bool // still inside the validated prefix of the journal
+	faults  *faults.Injector
+	skipped []string
+}
+
+func newCkptRunner(opt Options) (*ckptRunner, error) {
+	ck := &ckptRunner{journal: opt.Checkpoint, faults: opt.Faults}
+	if opt.Resume == ResumeOff {
+		return ck, nil
+	}
+	if ck.journal == nil {
+		return nil, fmt.Errorf("core: Resume requires a Checkpoint journal")
+	}
+	switch opt.Resume {
+	case ResumeForce:
+		if err := ck.journal.Discard(); err != nil {
+			return nil, err
+		}
+	case ResumeOn:
+		if ck.journal.Empty() {
+			return nil, &checkpoint.MissingError{Dir: ck.journal.Dir()}
+		}
+		ck.resume = true
+	}
+	return ck, nil
+}
+
+// lookup returns a stage's checkpointed bytes when its manifest entry
+// validates. The first stage with no entry ends the resumable prefix:
+// every stage after it re-executes. A mismatched entry is a typed error.
+func (ck *ckptRunner) lookup(stage, inputsHash string, params map[string]string) ([]byte, bool, error) {
+	if ck.journal == nil || !ck.resume {
+		return nil, false, nil
+	}
+	e, ok, err := ck.journal.Validate(stage, inputsHash, params)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		ck.resume = false
+		return nil, false, nil
+	}
+	data, err := ck.journal.Load(e)
+	if err != nil {
+		return nil, false, err
+	}
+	ck.skipped = append(ck.skipped, stage)
+	return data, true, nil
+}
+
+// commit journals an executed stage's output, then fires any planned
+// driver crash — the crash lands after the checkpoint is durable, so
+// the stage is exactly what a resumed run gets to skip.
+func (ck *ckptRunner) commit(stage, inputsHash string, params map[string]string, output func() []byte) error {
+	if ck.journal != nil {
+		if _, err := ck.journal.Commit(stage, inputsHash, params, output()); err != nil {
+			return err
+		}
+	}
+	if ck.faults.DriverCrashAfter(stage) {
+		return &faults.DriverCrashError{Stage: stage}
+	}
+	return nil
+}
+
 // Run executes the MrMC-MinH pipeline on reads: sketching as a map-only
 // job, then either greedy clustering in a single reducer or the
-// row-partitioned similarity matrix plus driver-side dendrogram.
+// row-partitioned similarity matrix plus driver-side dendrogram. With
+// Options.Checkpoint each stage's output is journaled after it commits,
+// and with Options.Resume validated stages are restored instead of
+// re-executed; because every stage is deterministic and checkpoints use
+// exact binary codecs, a resumed run's clusters are bit-identical to an
+// uninterrupted run's.
 func Run(reads []fasta.Record, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	ck, err := newCkptRunner(opt)
+	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -156,35 +271,126 @@ func Run(reads []fasta.Record, opt Options) (*Result, error) {
 		res.ReadIDs[i] = reads[i].ID
 	}
 
-	sigs, virt, err := sketchJob(engine, reads, opt)
-	if err != nil {
-		return nil, err
+	// Stage inputs are content-addressed: each stage's inputs hash is the
+	// hash of the previous stage's committed bytes, so a change anywhere
+	// upstream invalidates everything downstream.
+	var readsHash string
+	if opt.Checkpoint != nil {
+		readsHash = HashReads(reads)
 	}
-	res.Virtual += virt
-	res.Jobs++
+	sketchParams := map[string]string{
+		"k":          fmt.Sprint(opt.K),
+		"num_hashes": fmt.Sprint(opt.NumHashes),
+		"canonical":  fmt.Sprint(opt.Canonical),
+		"seed":       fmt.Sprint(opt.Seed),
+	}
+
+	var sigs []minhash.Signature
+	var sigBytes []byte // encoded sketch output, when journaling
+	if data, ok, err := ck.lookup(StageSketch, readsHash, sketchParams); err != nil {
+		return nil, err
+	} else if ok {
+		if sigs, err = decodeSignatures(data); err != nil {
+			return nil, err
+		}
+		sigBytes = data
+	} else {
+		var virt time.Duration
+		if sigs, virt, err = sketchJob(engine, reads, opt); err != nil {
+			return nil, err
+		}
+		res.Virtual += virt
+		res.Jobs++
+		if opt.Checkpoint != nil {
+			sigBytes = encodeSignatures(sigs)
+		}
+		if err := ck.commit(StageSketch, readsHash, sketchParams, func() []byte { return sigBytes }); err != nil {
+			return nil, err
+		}
+	}
+	var sigsHash string
+	if opt.Checkpoint != nil {
+		sigsHash = checkpoint.HashBytes(sigBytes)
+	}
 
 	switch opt.Mode {
 	case GreedyMode:
-		labels, virt, err := greedyJob(engine, sigs, opt)
-		if err != nil {
-			return nil, err
+		greedyParams := map[string]string{
+			"theta":     fmt.Sprint(opt.Theta),
+			"estimator": fmt.Sprint(int(opt.Estimator)),
+			"use_lsh":   fmt.Sprint(opt.UseLSH),
 		}
-		res.Assignments = labels
-		res.Virtual += virt
-		res.Jobs++
+		if data, ok, err := ck.lookup(StageGreedy, sigsHash, greedyParams); err != nil {
+			return nil, err
+		} else if ok {
+			if res.Assignments, err = decodeLabels(data); err != nil {
+				return nil, err
+			}
+		} else {
+			labels, virt, err := greedyJob(engine, sigs, opt)
+			if err != nil {
+				return nil, err
+			}
+			res.Assignments = labels
+			res.Virtual += virt
+			res.Jobs++
+			if err := ck.commit(StageGreedy, sigsHash, greedyParams, func() []byte { return encodeLabels(labels) }); err != nil {
+				return nil, err
+			}
+		}
 	case HierarchicalMode:
-		m, virt, err := similarityJob(engine, sigs, opt)
-		if err != nil {
-			return nil, err
+		simParams := map[string]string{
+			"estimator": fmt.Sprint(int(opt.Estimator)),
 		}
-		res.Virtual += virt
-		res.Jobs++
-		dend, err := cluster.Hierarchical(m, cluster.HierarchicalOptions{Linkage: opt.Linkage})
-		if err != nil {
+		var m *cluster.Matrix
+		var matBytes []byte
+		if data, ok, err := ck.lookup(StageSimilarity, sigsHash, simParams); err != nil {
 			return nil, err
+		} else if ok {
+			if m, err = decodeMatrix(data); err != nil {
+				return nil, err
+			}
+			matBytes = data
+		} else {
+			var virt time.Duration
+			if m, virt, err = similarityJob(engine, sigs, opt); err != nil {
+				return nil, err
+			}
+			res.Virtual += virt
+			res.Jobs++
+			if opt.Checkpoint != nil {
+				matBytes = encodeMatrix(m)
+			}
+			if err := ck.commit(StageSimilarity, sigsHash, simParams, func() []byte { return matBytes }); err != nil {
+				return nil, err
+			}
 		}
-		res.Assignments = dend.CutAt(opt.Theta)
+		var matHash string
+		if opt.Checkpoint != nil {
+			matHash = checkpoint.HashBytes(matBytes)
+		}
+		clusterParams := map[string]string{
+			"theta":   fmt.Sprint(opt.Theta),
+			"linkage": fmt.Sprint(int(opt.Linkage)),
+		}
+		if data, ok, err := ck.lookup(StageCluster, matHash, clusterParams); err != nil {
+			return nil, err
+		} else if ok {
+			if res.Assignments, err = decodeLabels(data); err != nil {
+				return nil, err
+			}
+		} else {
+			dend, err := cluster.Hierarchical(m, cluster.HierarchicalOptions{Linkage: opt.Linkage})
+			if err != nil {
+				return nil, err
+			}
+			res.Assignments = dend.CutAt(opt.Theta)
+			if err := ck.commit(StageCluster, matHash, clusterParams, func() []byte { return encodeLabels(res.Assignments) }); err != nil {
+				return nil, err
+			}
+		}
 	}
+	res.SkippedStages = ck.skipped
 	res.Real = time.Since(start)
 	return res, nil
 }

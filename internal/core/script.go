@@ -5,7 +5,9 @@ import (
 	"sort"
 	"time"
 
+	"github.com/metagenomics/mrmcminh/internal/checkpoint"
 	"github.com/metagenomics/mrmcminh/internal/dfs"
+	"github.com/metagenomics/mrmcminh/internal/faults"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/metrics"
 	"github.com/metagenomics/mrmcminh/internal/pig"
@@ -54,6 +56,18 @@ type ScriptResult struct {
 	// Virtual and Jobs aggregate the underlying MapReduce jobs.
 	Virtual time.Duration
 	Jobs    int
+	// Restored lists STORE outputs served from a validated checkpoint
+	// instead of being recomputed (resumed runs only).
+	Restored []string
+}
+
+// ScriptOptions bundles the optional knobs of an Algorithm 3 run: span
+// tracing, fault injection, and STORE-level checkpointing with resume.
+type ScriptOptions struct {
+	Trace      *trace.Recorder
+	Faults     *faults.Injector
+	Checkpoint *checkpoint.Journal
+	Resume     bool
 }
 
 // nextPrimeAbove returns the smallest prime > n (trial division; the
@@ -86,6 +100,12 @@ func RunScript(fs *dfs.FileSystem, clusterCfg mapreduce.Cluster, p ScriptParams,
 // RunScriptTraced is RunScript with an optional span recorder attached to
 // both the DFS and the MapReduce engine; pass nil to run untraced.
 func RunScriptTraced(fs *dfs.FileSystem, clusterCfg mapreduce.Cluster, p ScriptParams, seed int64, rec *trace.Recorder) (*ScriptResult, error) {
+	return RunScriptOpts(fs, clusterCfg, p, seed, ScriptOptions{Trace: rec})
+}
+
+// RunScriptOpts is the fully parameterized Algorithm 3 entry point.
+func RunScriptOpts(fs *dfs.FileSystem, clusterCfg mapreduce.Cluster, p ScriptParams, seed int64, so ScriptOptions) (*ScriptResult, error) {
+	rec := so.Trace
 	if p.K < 1 {
 		return nil, fmt.Errorf("core: script needs KMER >= 1")
 	}
@@ -105,14 +125,17 @@ func RunScriptTraced(fs *dfs.FileSystem, clusterCfg mapreduce.Cluster, p ScriptP
 		return nil, err
 	}
 	engine.Trace = rec
+	engine.Faults = so.Faults
 	if rec.Enabled() {
 		fs.SetTrace(rec)
 	}
 	ctx := &pig.Context{
-		FS:       fs,
-		Engine:   engine,
-		Registry: NewRegistry(),
-		Seed:     seed,
+		FS:         fs,
+		Engine:     engine,
+		Registry:   NewRegistry(),
+		Seed:       seed,
+		Checkpoint: so.Checkpoint,
+		Resume:     so.Resume,
 		Params: map[string]string{
 			"INPUT":   p.Input,
 			"OUTPUT1": p.Output1,
@@ -137,6 +160,7 @@ func RunScriptTraced(fs *dfs.FileSystem, clusterCfg mapreduce.Cluster, p ScriptP
 		Greedy:       labelMap(run.Aliases["L"]),
 		Virtual:      run.Virtual,
 		Jobs:         run.Jobs,
+		Restored:     run.Restored,
 	}
 	return res, nil
 }

@@ -1,0 +1,115 @@
+package dfs
+
+import "testing"
+
+// Tests for the rename-atomicity primitives the output committer and the
+// checkpoint journal build on.
+
+func TestReplaceOverwritesDestination(t *testing.T) {
+	fs := smallFS(t)
+	if err := fs.WriteFile("/old", []byte("old bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/staged", []byte("new bytes")); err != nil {
+		t.Fatal(err)
+	}
+	// Plain Rename refuses to clobber; Replace is the overwriting form.
+	if err := fs.Rename("/staged", "/old"); err == nil {
+		t.Fatal("Rename overwrote an existing file")
+	}
+	if err := fs.Replace("/staged", "/old"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/staged") {
+		t.Fatal("source survived Replace")
+	}
+	got, err := fs.ReadFile("/old")
+	if err != nil || string(got) != "new bytes" {
+		t.Fatalf("destination = %q, %v", got, err)
+	}
+	if err := fs.Replace("/missing", "/old"); err == nil {
+		t.Fatal("Replace of a missing source succeeded")
+	}
+}
+
+func TestRenameDirMovesWholeTree(t *testing.T) {
+	fs := smallFS(t)
+	files := map[string]string{
+		"/out/_temporary/attempt_0_1/part-00000":     "p0",
+		"/out/_temporary/attempt_0_1/sub/part-00001": "p1",
+	}
+	for p, d := range files {
+		if err := fs.WriteFile(p, []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pre-existing destination files are replaced, not duplicated.
+	if err := fs.WriteFile("/out/part-00000", []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RenameDir("/out/_temporary/attempt_0_1", "/out"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/out/part-00000")
+	if err != nil || string(got) != "p0" {
+		t.Fatalf("promoted part = %q, %v", got, err)
+	}
+	if data, err := fs.ReadFile("/out/sub/part-00001"); err != nil || string(data) != "p1" {
+		t.Fatalf("nested part = %q, %v", data, err)
+	}
+	if got := fs.List("/out/_temporary"); len(got) != 0 {
+		t.Fatalf("staging survived: %v", got)
+	}
+	// Renaming an empty directory is a protocol violation, not a no-op.
+	if err := fs.RenameDir("/out/_temporary/attempt_9_9", "/out"); err == nil {
+		t.Fatal("RenameDir of an empty prefix succeeded")
+	}
+}
+
+func TestRemoveAllCountsAndTolerates(t *testing.T) {
+	fs := smallFS(t)
+	for _, p := range []string{"/d/a", "/d/b/c", "/d2/x"} {
+		if err := fs.WriteFile(p, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := fs.RemoveAll("/d"); n != 2 {
+		t.Fatalf("RemoveAll removed %d, want 2", n)
+	}
+	if fs.Exists("/d/a") || !fs.Exists("/d2/x") {
+		t.Fatal("RemoveAll scope wrong")
+	}
+	// Prefix matching is per-segment: /d2 must not match /d.
+	if n := fs.RemoveAll("/d"); n != 0 {
+		t.Fatalf("second RemoveAll removed %d", n)
+	}
+}
+
+func TestListOutputsHidesUnderscoreAndDotSegments(t *testing.T) {
+	fs := smallFS(t)
+	visible := []string{"/out/part-00000", "/out/part-00001", "/out/nested/part-00002"}
+	hidden := []string{
+		"/out/_SUCCESS",
+		"/out/_temporary/attempt_1_1/part-00000",
+		"/out/.part-00003.tmp",
+		"/out/nested/_logs/history",
+	}
+	for _, p := range append(append([]string{}, visible...), hidden...) {
+		if err := fs.WriteFile(p, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fs.ListOutputs("/out")
+	if len(got) != len(visible) {
+		t.Fatalf("ListOutputs = %v", got)
+	}
+	want := map[string]bool{}
+	for _, p := range visible {
+		want[p] = true
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Fatalf("hidden path leaked: %s", p)
+		}
+	}
+}

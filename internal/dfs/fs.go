@@ -42,6 +42,10 @@ type Stats struct {
 	// an aborted transfer are charged to BytesRead — the client paid for
 	// them — so failover is visible in the I/O cost model.
 	FailedReads int64
+	// ScrubbedBlocks counts blocks whose replicas a Scrub pass verified.
+	ScrubbedBlocks int64
+	// QuarantinedReplicas counts corrupt replicas a Scrub pass removed.
+	QuarantinedReplicas int64
 }
 
 // FileSystem is the namenode plus its datanodes.
@@ -361,6 +365,80 @@ func (fs *FileSystem) Rename(from, to string) error {
 	return nil
 }
 
+// Replace moves a file onto a possibly-existing destination in one
+// metadata step: the namenode swaps the path→blocks binding under a
+// single lock, so readers see either the old file or the new one, never
+// a mix. This is the rename-atomicity primitive the output committer and
+// the checkpoint journal rely on.
+func (fs *FileSystem) Replace(from, to string) error {
+	if err := validPath(to); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	blocks, ok := fs.files[from]
+	if !ok {
+		return fmt.Errorf("dfs: no such file %q", from)
+	}
+	if _, exists := fs.files[to]; exists {
+		fs.removeLocked(to)
+	}
+	fs.files[to] = blocks
+	delete(fs.files, from)
+	return nil
+}
+
+// RenameDir atomically moves every file under the directory fromPrefix to
+// the same relative path under toPrefix. The whole move happens under one
+// namenode lock — a concurrent List sees either none or all of the moved
+// files — which makes directory rename a valid commit operation. Existing
+// files at destination paths are replaced.
+func (fs *FileSystem) RenameDir(fromPrefix, toPrefix string) error {
+	if err := validPath(fromPrefix); err != nil {
+		return err
+	}
+	if err := validPath(toPrefix); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var moved []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, fromPrefix+"/") {
+			moved = append(moved, p)
+		}
+	}
+	if len(moved) == 0 {
+		return fmt.Errorf("dfs: no files under %q", fromPrefix)
+	}
+	sort.Strings(moved)
+	for _, p := range moved {
+		dst := toPrefix + strings.TrimPrefix(p, fromPrefix)
+		if _, exists := fs.files[dst]; exists {
+			fs.removeLocked(dst)
+		}
+		fs.files[dst] = fs.files[p]
+		delete(fs.files, p)
+	}
+	return nil
+}
+
+// RemoveAll deletes every file under the directory prefix (and prefix
+// itself if it names a file), returning how many files were dropped.
+// Removing nothing is not an error: abort paths call this unconditionally.
+func (fs *FileSystem) RemoveAll(prefix string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := 0
+	for p := range fs.files {
+		if p == prefix || strings.HasPrefix(p, prefix+"/") {
+			fs.removeLocked(p)
+			n++
+		}
+	}
+	return n
+}
+
 // List returns all paths with the given prefix, sorted.
 func (fs *FileSystem) List(prefix string) []string {
 	fs.mu.RLock()
@@ -368,6 +446,34 @@ func (fs *FileSystem) List(prefix string) []string {
 	var out []string
 	for p := range fs.files {
 		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ListOutputs returns the visible output files under dir, sorted: paths
+// whose relative part contains a segment starting with "_" or "." are
+// hidden, matching Hadoop's convention that `_temporary` staging trees,
+// `_SUCCESS` markers and dot-files are invisible to downstream readers.
+func (fs *FileSystem) ListOutputs(dir string) []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for p := range fs.files {
+		if !strings.HasPrefix(p, dir+"/") {
+			continue
+		}
+		rel := strings.TrimPrefix(p, dir+"/")
+		hidden := false
+		for _, seg := range strings.Split(rel, "/") {
+			if strings.HasPrefix(seg, "_") || strings.HasPrefix(seg, ".") {
+				hidden = true
+				break
+			}
+		}
+		if !hidden {
 			out = append(out, p)
 		}
 	}

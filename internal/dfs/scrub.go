@@ -1,0 +1,75 @@
+package dfs
+
+import "sort"
+
+// Background scrubbing — HDFS datanodes run a block scanner that
+// periodically re-reads every stored replica, verifies its CRC and
+// reports corrupt copies to the namenode, which quarantines them and
+// schedules re-replication from a healthy source. Scrub models one full
+// pass of that scanner over the whole namespace.
+
+// ScrubReport summarizes one scrubber pass.
+type ScrubReport struct {
+	// BlocksScanned is the number of blocks whose replicas were verified.
+	BlocksScanned int
+	// Quarantined is the number of corrupt replicas dropped.
+	Quarantined int
+	// ReplicasCreated is the number of replicas re-created afterwards to
+	// restore the configured replication factor.
+	ReplicasCreated int
+	// CorruptFiles lists the paths that held at least one corrupt
+	// replica, sorted.
+	CorruptFiles []string
+}
+
+// Scrub verifies every live replica of every block against its stored
+// CRC32C, quarantines (drops) corrupt replicas, and re-replicates the
+// affected blocks from a healthy copy. It returns a report plus any
+// re-replication error (a block whose replicas were all corrupt or dead
+// — data loss — is reported after repairable blocks are fixed).
+// Counters land in Stats.ScrubbedBlocks and Stats.QuarantinedReplicas.
+func (fs *FileSystem) Scrub() (ScrubReport, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var rep ScrubReport
+	corrupt := make(map[string]bool)
+	for path, blocks := range fs.files {
+		for bi := range blocks {
+			blk := &blocks[bi]
+			want, ok := fs.checksums[blk.ID]
+			if !ok {
+				continue
+			}
+			rep.BlocksScanned++
+			keep := blk.Replicas[:0]
+			for _, node := range blk.Replicas {
+				if !fs.alive(node) {
+					keep = append(keep, node)
+					continue
+				}
+				data, has := fs.nodes[node].read(blk.ID)
+				if has && checksumOf(data) != want {
+					fs.nodes[node].drop(blk.ID)
+					rep.Quarantined++
+					corrupt[path] = true
+					continue
+				}
+				keep = append(keep, node)
+			}
+			blk.Replicas = keep
+		}
+		fs.files[path] = blocks
+	}
+	fs.stats.ScrubbedBlocks += int64(rep.BlocksScanned)
+	fs.stats.QuarantinedReplicas += int64(rep.Quarantined)
+	for p := range corrupt {
+		rep.CorruptFiles = append(rep.CorruptFiles, p)
+	}
+	sort.Strings(rep.CorruptFiles)
+	if rep.Quarantined == 0 {
+		return rep, nil
+	}
+	created, err := fs.reReplicateLocked()
+	rep.ReplicasCreated = created
+	return rep, err
+}

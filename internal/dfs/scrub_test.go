@@ -1,0 +1,96 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestScrubCleanNamespace(t *testing.T) {
+	fs := smallFS(t)
+	if err := fs.WriteFile("/a", []byte("healthy data, two blocks long")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fs.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksScanned == 0 {
+		t.Fatal("scrubber scanned nothing")
+	}
+	if rep.Quarantined != 0 || rep.ReplicasCreated != 0 || len(rep.CorruptFiles) != 0 {
+		t.Fatalf("clean namespace reported corruption: %+v", rep)
+	}
+	if fs.Stats().ScrubbedBlocks == 0 || fs.Stats().QuarantinedReplicas != 0 {
+		t.Fatalf("stats wrong: %+v", fs.Stats())
+	}
+}
+
+func TestScrubQuarantinesAndReReplicates(t *testing.T) {
+	fs := smallFS(t)
+	data := []byte("some content that spans multiple sixteen-byte blocks here")
+	if err := fs.WriteFile("/data/f", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CorruptReplica("/data/f", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fs.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 1 {
+		t.Fatalf("quarantined %d replicas, want 1", rep.Quarantined)
+	}
+	if rep.ReplicasCreated != 1 {
+		t.Fatalf("re-replicated %d, want 1", rep.ReplicasCreated)
+	}
+	if len(rep.CorruptFiles) != 1 || rep.CorruptFiles[0] != "/data/f" {
+		t.Fatalf("corrupt files = %v", rep.CorruptFiles)
+	}
+	if got := fs.Stats().QuarantinedReplicas; got != 1 {
+		t.Fatalf("stats.QuarantinedReplicas = %d", got)
+	}
+	// After the pass the namespace is fully healthy again: a second scrub
+	// finds nothing and every block is back at full replication.
+	rep2, err := fs.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Quarantined != 0 {
+		t.Fatalf("second pass found %d corrupt replicas", rep2.Quarantined)
+	}
+	blocks, err := fs.Blocks("/data/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		if len(b.Replicas) != fs.Config().Replication {
+			t.Fatalf("block %v at %d replicas after repair", b.ID, len(b.Replicas))
+		}
+	}
+	got, err := fs.ReadFile("/data/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("content damaged by scrub: %v", err)
+	}
+}
+
+func TestScrubAllReplicasCorrupt(t *testing.T) {
+	fs := smallFS(t)
+	if err := fs.WriteFile("/f", []byte("unlucky block with no healthy copy")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt both replicas of block 0: quarantine leaves no source.
+	if err := fs.CorruptReplica("/f", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CorruptReplica("/f", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fs.Scrub()
+	if rep.Quarantined != 2 {
+		t.Fatalf("quarantined %d, want 2", rep.Quarantined)
+	}
+	if err == nil {
+		t.Fatal("losing every replica must surface as an error")
+	}
+}

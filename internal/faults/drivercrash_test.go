@@ -1,0 +1,62 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDriverCrash(t *testing.T) {
+	plan, err := ParsePlan("driver-crash:after=similarity", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.DriverCrashes) != 1 || plan.DriverCrashes[0].AfterStage != "similarity" {
+		t.Fatalf("parsed wrong: %+v", plan.DriverCrashes)
+	}
+	if plan.Empty() {
+		t.Fatal("a driver-crash plan is not empty")
+	}
+	// The rendered plan reparses to itself.
+	again, err := ParsePlan(plan.String(), 1)
+	if err != nil {
+		t.Fatalf("round-trip: %v (spec %q)", err, plan.String())
+	}
+	if again.String() != plan.String() {
+		t.Fatalf("round-trip mismatch: %q vs %q", again.String(), plan.String())
+	}
+	// Stage names may contain ':' and '/' (Pig STORE stages do).
+	plan2, err := ParsePlan("driver-crash:after=store:/out/hierarchical", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.DriverCrashes[0].AfterStage != "store:/out/hierarchical" {
+		t.Fatalf("store stage parsed wrong: %+v", plan2.DriverCrashes)
+	}
+	if _, err := ParsePlan("driver-crash:after=", 1); err == nil {
+		t.Fatal("empty stage accepted")
+	}
+}
+
+func TestDriverCrashAfter(t *testing.T) {
+	in := MustNew(Plan{DriverCrashes: []DriverCrash{{AfterStage: "sketch"}}})
+	if !in.DriverCrashAfter("sketch") {
+		t.Fatal("planned crash did not fire")
+	}
+	if in.DriverCrashAfter("cluster") {
+		t.Fatal("crash fired on the wrong stage")
+	}
+	if got := in.Counts()["driver.crash"]; got != 1 {
+		t.Fatalf("driver.crash counter = %d", got)
+	}
+	var nilInj *Injector
+	if nilInj.DriverCrashAfter("sketch") {
+		t.Fatal("nil injector crashed the driver")
+	}
+}
+
+func TestDriverCrashErrorMessage(t *testing.T) {
+	err := &DriverCrashError{Stage: "similarity"}
+	if !strings.Contains(err.Error(), "similarity") || !strings.Contains(err.Error(), "resume") {
+		t.Fatalf("message unhelpful: %s", err.Error())
+	}
+}

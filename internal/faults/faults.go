@@ -82,6 +82,32 @@ type BlockError struct {
 	Times int
 }
 
+// DriverCrash kills the pipeline driver immediately after the named stage
+// has committed its checkpoint — the cross-job failure class that stage
+// checkpointing exists for. The crash fires only when the stage actually
+// executes, so a resumed run that skips the stage from its manifest sails
+// past the crash site (the model is a one-time process death, not a
+// deterministic repeating crash).
+type DriverCrash struct {
+	// AfterStage names the pipeline stage ("sketch", "similarity",
+	// "greedy", "cluster", or a Pig "store:<path>" stage).
+	AfterStage string
+}
+
+// DriverCrashError is returned by a pipeline whose driver was killed by an
+// injected DriverCrash. The stage's output is already committed; re-running
+// with resume enabled continues from the next stage. Use errors.As to
+// detect it.
+type DriverCrashError struct {
+	// Stage is the stage after whose commit the driver died.
+	Stage string
+}
+
+// Error formats the crash.
+func (e *DriverCrashError) Error() string {
+	return fmt.Sprintf("faults: driver crashed after stage %q (checkpoint committed; re-run with resume)", e.Stage)
+}
+
 // Plan declares everything an Injector will break. The zero Plan injects
 // nothing; all probabilistic sites are derived deterministically from
 // Seed.
@@ -108,13 +134,16 @@ type Plan struct {
 	BlockReadErrorProb float64
 	// BlockErrors are targeted DFS read failures.
 	BlockErrors []BlockError
+	// DriverCrashes kill the pipeline driver after named stages commit.
+	DriverCrashes []DriverCrash
 }
 
 // Empty reports whether the plan injects nothing.
 func (p Plan) Empty() bool {
 	return p.TaskCrashProb == 0 && len(p.Crashes) == 0 &&
 		len(p.NodeDeaths) == 0 && len(p.SlowNodes) == 0 &&
-		p.BlockReadErrorProb == 0 && len(p.BlockErrors) == 0
+		p.BlockReadErrorProb == 0 && len(p.BlockErrors) == 0 &&
+		len(p.DriverCrashes) == 0
 }
 
 // Validate rejects malformed plans.
@@ -133,6 +162,11 @@ func (p Plan) Validate() error {
 	for _, d := range p.NodeDeaths {
 		if d.Node < 0 {
 			return fmt.Errorf("faults: node death on negative node %d", d.Node)
+		}
+	}
+	for _, dc := range p.DriverCrashes {
+		if dc.AfterStage == "" {
+			return fmt.Errorf("faults: driver crash needs a stage name")
 		}
 	}
 	return nil
@@ -241,6 +275,23 @@ func (in *Injector) NodeDeaths() []NodeDeath {
 		return out[i].Node < out[j].Node
 	})
 	return out
+}
+
+// DriverCrashAfter reports whether the plan kills the driver after the
+// named stage executes and commits. The pipeline driver calls this once
+// per executed stage (skipped stages never consult it) and returns a
+// *DriverCrashError when it fires.
+func (in *Injector) DriverCrashAfter(stage string) bool {
+	if in == nil {
+		return false
+	}
+	for _, dc := range in.plan.DriverCrashes {
+		if dc.AfterStage == stage {
+			in.count("driver.crash")
+			return true
+		}
+	}
+	return false
 }
 
 // SlowFactor returns the duration multiplier for a node (1.0 when the

@@ -32,6 +32,7 @@ func ChaosPlan(seed int64) Plan {
 //	slow=NODE@FACTOR          node runs FACTOR× slower (e.g. 1@2.5)
 //	dfsfail=P                 single replica-read failure probability
 //	blockerr=PREFIX:NODE:N    N reads of PREFIX via NODE fail ("*" wildcards)
+//	driver-crash:after=STAGE  kill the driver after STAGE commits its checkpoint
 //
 // The seed parameter feeds every probabilistic site; an empty spec returns
 // the zero plan.
@@ -80,6 +81,8 @@ func ParsePlan(spec string, seed int64) (Plan, error) {
 			var be BlockError
 			be, err = parseBlockErr(val)
 			plan.BlockErrors = append(plan.BlockErrors, be)
+		case "driver-crash:after":
+			plan.DriverCrashes = append(plan.DriverCrashes, DriverCrash{AfterStage: val})
 		default:
 			return Plan{}, fmt.Errorf("faults: unknown directive %q", key)
 		}
@@ -119,6 +122,9 @@ func (p Plan) String() string {
 	for _, be := range p.BlockErrors {
 		parts = append(parts, fmt.Sprintf("blockerr=%s:%s:%d",
 			wildcardStr(be.PathPrefix), wildcardInt(be.Node), be.Times))
+	}
+	for _, dc := range p.DriverCrashes {
+		parts = append(parts, fmt.Sprintf("driver-crash:after=%s", dc.AfterStage))
 	}
 	if len(parts) == 0 {
 		return "none"

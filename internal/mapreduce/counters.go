@@ -82,4 +82,17 @@ const (
 	CounterMapReexecutions = "map.reexecutions"
 	// CounterNodesBlacklisted counts nodes blacklisted during the job.
 	CounterNodesBlacklisted = "node.blacklisted"
+	// CounterSpeculative counts backup attempts launched for modelled
+	// stragglers when Cluster.Speculative is set.
+	CounterSpeculative = "task.speculative"
+)
+
+// Commit-protocol counter names, maintained by the OutputCommitter.
+const (
+	// CounterCommitCommitted counts task attempts whose staged output was
+	// atomically promoted into the job output directory.
+	CounterCommitCommitted = "commit.committed"
+	// CounterCommitAborted counts attempts whose staging directory was
+	// discarded (crashed, killed, or speculative losers).
+	CounterCommitAborted = "commit.aborted"
 )

@@ -52,6 +52,7 @@ type faultSim struct {
 	attempts    []TaskAttempt
 	reexecuted  int // map tasks re-executed after losing their node
 	blacklistCt int
+	speculative int // backup attempts launched for modelled stragglers
 }
 
 // newFaultSim builds the simulator for a job starting at global virtual
@@ -136,7 +137,7 @@ func (s *faultSim) runPhase(phase string, tasks []*simTask) error {
 			}
 		}
 		t := pending[best]
-		att, err := s.place(phase, t)
+		att, idx, err := s.place(phase, t)
 		if err != nil {
 			return err
 		}
@@ -145,7 +146,7 @@ func (s *faultSim) runPhase(phase string, tasks []*simTask) error {
 			t.done = true
 			t.end = att.End
 			t.node = att.Node
-			t.final = len(s.attempts) - 1
+			t.final = idx
 			pending = append(pending[:best], pending[best+1:]...)
 		case AttemptCrashed:
 			if t.crashes >= s.pol.MaxAttempts {
@@ -167,8 +168,10 @@ func (s *faultSim) runPhase(phase string, tasks []*simTask) error {
 
 // place schedules one attempt of t: picks the earliest-available slot on a
 // usable node, asks the injector whether the attempt crashes, and resolves
-// crash vs node-death ordering.
-func (s *faultSim) place(phase string, t *simTask) (TaskAttempt, error) {
+// crash vs node-death ordering. It returns the attempt that completes the
+// task's state transition plus its index in s.attempts — with speculative
+// execution the returned attempt may be a backup, not the one placed here.
+func (s *faultSim) place(phase string, t *simTask) (TaskAttempt, int, error) {
 	bestSlot := -1
 	var bestStart time.Duration
 	for slot := 0; slot < len(s.slotFree); slot++ {
@@ -194,7 +197,7 @@ func (s *faultSim) place(phase string, t *simTask) (TaskAttempt, error) {
 		}
 	}
 	if bestSlot < 0 {
-		return TaskAttempt{}, &TaskFailedError{
+		return TaskAttempt{}, -1, &TaskFailedError{
 			Job: s.jobName, Phase: phase, Task: t.id, Attempts: t.attempt,
 			Reason: "no usable cluster nodes (all dead or blacklisted)",
 		}
@@ -242,7 +245,100 @@ func (s *faultSim) place(phase string, t *simTask) (TaskAttempt, error) {
 		}
 	}
 	s.attempts = append(s.attempts, att)
-	return att, nil
+	idx := len(s.attempts) - 1
+
+	// Speculative execution: a successful attempt on a modelled straggler
+	// node gets a backup copy; the earlier finisher commits through the
+	// output committer and the other is KILLED (never FAILED — losing the
+	// race consumes no retry budget).
+	if att.Outcome == AttemptSuccess && s.c.Speculative && s.inj.SlowFactor(node) > 1 {
+		if widx, ok := s.placeBackup(phase, t, idx); ok {
+			return s.attempts[widx], widx, nil
+		}
+	}
+	return att, idx, nil
+}
+
+// placeBackup launches a speculative copy of t on a node other than the
+// straggling primary's. Detection follows the cost model: the straggler
+// is flagged one nominal duration after the primary started, and the
+// backup runs a fresh copy from there. Whichever attempt finishes first
+// wins; the loser is killed at the winner's commit time. Returns the
+// winning attempt's index, or ok=false when no backup launches (no
+// usable second node, or the backup could not start before the primary
+// finishes).
+func (s *faultSim) placeBackup(phase string, t *simTask, primaryIdx int) (int, bool) {
+	prim := s.attempts[primaryIdx]
+	nominal := s.c.effectiveDuration(t.id, t.cost.Duration)
+	if nominal < time.Millisecond {
+		nominal = time.Millisecond
+	}
+	detect := prim.Start + nominal
+	if detect >= prim.End {
+		return 0, false // primary finishes before the straggler is flagged
+	}
+	bestSlot := -1
+	var bestStart time.Duration
+	for slot := 0; slot < len(s.slotFree); slot++ {
+		node := slot / s.c.SlotsPerNode
+		if node == prim.Node || s.blacklisted[node] {
+			continue
+		}
+		start := s.slotFree[slot]
+		if start < detect {
+			start = detect
+		}
+		if s.deadAt[node] <= start {
+			continue
+		}
+		if bestSlot < 0 || start < bestStart {
+			bestSlot, bestStart = slot, start
+		}
+	}
+	if bestSlot < 0 || bestStart >= prim.End {
+		return 0, false // a backup that cannot win is never launched
+	}
+	bnode := bestSlot / s.c.SlotsPerNode
+	t.attempt++
+	bdur := time.Duration(float64(nominal) * s.inj.SlowFactor(bnode))
+	if bdur < time.Millisecond {
+		bdur = time.Millisecond
+	}
+	batt := TaskAttempt{
+		Phase: phase, Task: t.id, Attempt: t.attempt,
+		Node: bnode, Slot: bestSlot,
+		Start: bestStart, End: bestStart + bdur,
+		Outcome: AttemptSuccess, Speculative: true,
+	}
+	if death := s.deadAt[bnode]; death < batt.End {
+		batt.End = death
+		batt.Outcome = AttemptKilled
+		batt.Reason = fmt.Sprintf("node %d died", bnode)
+	}
+	s.speculative++
+	winner := primaryIdx
+	if batt.Outcome == AttemptSuccess && batt.End < prim.End {
+		// Backup wins: the primary is killed when the backup commits.
+		s.attempts[primaryIdx].Outcome = AttemptKilled
+		s.attempts[primaryIdx].End = batt.End
+		s.attempts[primaryIdx].Reason = "speculative backup finished first"
+		s.slotFree[prim.Slot] = batt.End
+		s.attempts = append(s.attempts, batt)
+		winner = len(s.attempts) - 1
+	} else {
+		// Primary wins (or the backup's node died): kill the backup at
+		// the primary's commit time.
+		if batt.Outcome == AttemptSuccess {
+			batt.Outcome = AttemptKilled
+			batt.Reason = "speculative attempt lost the race"
+			if batt.End > prim.End {
+				batt.End = prim.End
+			}
+		}
+		s.attempts = append(s.attempts, batt)
+	}
+	s.slotFree[bestSlot] = batt.End
+	return winner, true
 }
 
 // usableNodesExcept counts nodes other than skip still accepting work at
@@ -397,11 +493,16 @@ func (s *faultSim) makespan() time.Duration {
 	return end
 }
 
-// recordCounters publishes the recovery statistics.
+// recordCounters publishes the recovery statistics. Every successful
+// attempt committed its staged output through the commit protocol and
+// every crashed/killed attempt had its staging aborted, so the commit
+// counters mirror the attempt outcomes.
 func (s *faultSim) recordCounters(c *Counters) {
-	var failed, killed int64
+	var succeeded, failed, killed int64
 	for _, a := range s.attempts {
 		switch a.Outcome {
+		case AttemptSuccess:
+			succeeded++
 		case AttemptCrashed:
 			failed++
 		case AttemptKilled:
@@ -413,6 +514,9 @@ func (s *faultSim) recordCounters(c *Counters) {
 	c.Add(CounterTaskKilled, killed)
 	c.Add(CounterMapReexecutions, int64(s.reexecuted))
 	c.Add(CounterNodesBlacklisted, int64(s.blacklistCt))
+	c.Add(CounterSpeculative, int64(s.speculative))
+	c.Add(CounterCommitCommitted, succeeded)
+	c.Add(CounterCommitAborted, failed+killed)
 }
 
 // blacklistedNodes lists blacklisted node ids in order.

@@ -181,6 +181,9 @@ type TaskAttempt struct {
 	// Reason explains non-success outcomes ("injected crash", "node 2
 	// died", "map output lost").
 	Reason string
+	// Speculative marks a backup attempt launched for a modelled
+	// straggler (Cluster.Speculative).
+	Speculative bool
 }
 
 // RetryPolicy governs task recovery on the simulated cluster, mirroring

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"time"
 
+	"github.com/metagenomics/mrmcminh/internal/checkpoint"
+	"github.com/metagenomics/mrmcminh/internal/faults"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/trace"
 )
@@ -83,11 +85,14 @@ func (ex *executor) execStmt(st Stmt, res *RunResult) error {
 		res.Virtual += virt
 		res.Jobs++
 	case *StoreStmt:
-		path, err := ex.store(t)
+		path, restored, err := ex.store(t)
 		if err != nil {
 			return err
 		}
 		res.Stored[t.Input] = path
+		if restored {
+			res.Restored = append(res.Restored, path)
+		}
 	case *FilterStmt:
 		virt, err := ex.filter(t)
 		if err != nil {
@@ -315,27 +320,70 @@ func (ex *executor) group(st *GroupStmt) (time.Duration, error) {
 
 // ---- STORE ----
 
-func (ex *executor) store(st *StoreStmt) (string, error) {
+// store materializes a relation through the output-commit protocol: the
+// part file is staged under the target's _temporary tree and promoted by
+// an atomic rename, then the directory is finalized with a _SUCCESS
+// marker — a driver dying mid-STORE never leaves partial output visible.
+// With a checkpoint journal the committed bytes are also recorded under
+// a "store:<path>" manifest entry; resuming validates the entry (typed
+// error on mismatch) and restores its bytes instead of re-journaling.
+func (ex *executor) store(st *StoreStmt) (string, bool, error) {
 	in, err := ex.relation(st.Input, st.Line)
 	if err != nil {
-		return "", err
+		return "", false, err
 	}
 	path, err := ex.substituteParams(st.Path, st.Line)
 	if err != nil {
-		return "", err
+		return "", false, err
 	}
-	var lines []string
+	var sb strings.Builder
 	for _, tup := range in.Tuples {
 		parts := make([]string, len(tup.Fields))
 		for i, f := range tup.Fields {
 			parts[i] = FormatValue(f)
 		}
-		lines = append(lines, strings.Join(parts, "\t"))
+		sb.WriteString(strings.Join(parts, "\t"))
+		sb.WriteByte('\n')
 	}
-	if err := ex.ctx.FS.WriteLines(path+"/part-00000", lines); err != nil {
-		return "", fmt.Errorf("pig: line %d: storing %q: %w", st.Line, path, err)
+	data := []byte(sb.String())
+
+	stage := "store:" + path
+	restored := false
+	if ck := ex.ctx.Checkpoint; ck != nil {
+		if ex.ctx.Resume {
+			e, ok, err := ck.Validate(stage, checkpoint.HashBytes(data), nil)
+			if err != nil {
+				return "", false, fmt.Errorf("pig: line %d: %w", st.Line, err)
+			}
+			if ok {
+				if data, err = ck.Load(e); err != nil {
+					return "", false, fmt.Errorf("pig: line %d: %w", st.Line, err)
+				}
+				restored = true
+			}
+		}
+		if !restored {
+			if _, err := ck.Commit(stage, checkpoint.HashBytes(data), nil, data); err != nil {
+				return "", false, fmt.Errorf("pig: line %d: %w", st.Line, err)
+			}
+		}
 	}
-	return path, nil
+
+	oc := mapreduce.NewOutputCommitter(ex.ctx.FS, path)
+	oc.SetTrace(ex.ctx.Engine.Trace)
+	if err := oc.WriteAttemptFile(0, 0, "part-00000", data); err != nil {
+		return "", false, fmt.Errorf("pig: line %d: storing %q: %w", st.Line, path, err)
+	}
+	if err := oc.CommitTask(0, 0); err != nil {
+		return "", false, fmt.Errorf("pig: line %d: storing %q: %w", st.Line, path, err)
+	}
+	if err := oc.CommitJob(); err != nil {
+		return "", false, fmt.Errorf("pig: line %d: storing %q: %w", st.Line, path, err)
+	}
+	if df := ex.ctx.Engine.Faults; df.DriverCrashAfter(stage) {
+		return "", false, &faults.DriverCrashError{Stage: stage}
+	}
+	return path, restored, nil
 }
 
 // ---- helpers shared with FOREACH ----

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/metagenomics/mrmcminh/internal/checkpoint"
 	"github.com/metagenomics/mrmcminh/internal/dfs"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 )
@@ -112,6 +113,13 @@ type Context struct {
 	Params map[string]string
 	// Seed is available to UDFs needing deterministic randomness.
 	Seed int64
+	// Checkpoint, when non-nil, journals every STORE's committed bytes
+	// under a "store:<path>" manifest entry.
+	Checkpoint *checkpoint.Journal
+	// Resume validates each STORE against the journal before writing:
+	// a matching entry restores the checkpointed bytes, a mismatched one
+	// is a typed error (requires Checkpoint).
+	Resume bool
 }
 
 // Param returns a parameter value or an error naming the hole.
@@ -136,4 +144,7 @@ type RunResult struct {
 	Real time.Duration
 	// Jobs is the number of MapReduce jobs launched.
 	Jobs int
+	// Restored lists STORE paths whose bytes were validated against and
+	// restored from the checkpoint journal (nil when not resuming).
+	Restored []string
 }

@@ -36,6 +36,8 @@ const (
 	KindDFSWrite
 	KindReplicate
 	KindPigOp
+	KindCommit
+	KindAbort
 )
 
 // String names the kind for exports.
@@ -61,6 +63,10 @@ func (k Kind) String() string {
 		return "dfs.replicate"
 	case KindPigOp:
 		return "pig.op"
+	case KindCommit:
+		return "commit"
+	case KindAbort:
+		return "abort"
 	default:
 		return "unknown"
 	}

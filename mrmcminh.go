@@ -26,6 +26,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/metagenomics/mrmcminh/internal/checkpoint"
 	"github.com/metagenomics/mrmcminh/internal/cluster"
 	"github.com/metagenomics/mrmcminh/internal/core"
 	"github.com/metagenomics/mrmcminh/internal/fasta"
@@ -69,6 +70,35 @@ type Result = core.Result
 // ClusterConfig describes the simulated Hadoop deployment used for the
 // run's virtual-clock timings.
 type ClusterConfig = mapreduce.Cluster
+
+// ResumeMode controls how Options.Checkpoint's journal is consulted.
+type ResumeMode = core.ResumeMode
+
+// Resume modes for Options.Resume.
+const (
+	// ResumeOff ignores any existing checkpoint journal (still journals).
+	ResumeOff = core.ResumeOff
+	// ResumeOn skips stages whose manifest entries validate, erroring on
+	// a missing or mismatched manifest.
+	ResumeOn = core.ResumeOn
+	// ResumeForce discards the journal and runs from scratch.
+	ResumeForce = core.ResumeForce
+)
+
+// Checkpoint is a stage journal for crash-consistent pipeline runs.
+type Checkpoint = checkpoint.Journal
+
+// OpenCheckpointDir opens (creating if needed) a checkpoint journal
+// backed by a local directory, the durable medium behind the CLIs'
+// --checkpoint-dir flag: the journal survives the driver process, so a
+// run killed between stages resumes from its last committed stage.
+func OpenCheckpointDir(dir string) (*Checkpoint, error) {
+	store, err := checkpoint.NewDirStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.Open(store, "/")
+}
 
 // DefaultCluster mirrors the paper's 8-node Amazon EMR deployment.
 var DefaultCluster = mapreduce.DefaultCluster
