@@ -36,20 +36,21 @@ func main() {
 
 func run() error {
 	var (
-		table     = flag.Int("table", 0, "regenerate table 3, 4 or 5")
-		figure    = flag.Int("figure", 0, "regenerate figure 2")
-		ablation  = flag.String("ablation", "", "run ablation: theta, estimator, speculative, errormodel, bbit or scaling")
-		svg       = flag.String("svg", "", "write the Figure 2 chart to this SVG file")
-		all       = flag.Bool("all", false, "run everything")
-		scale     = flag.Float64("scale", 0.01, "dataset scale in (0,1]")
-		seed      = flag.Int64("seed", 1, "generation seed")
-		nodes     = flag.Int("nodes", 8, "simulated cluster nodes for MrMC runs")
-		samples   = flag.String("samples", "", "comma-separated sample subset (tables 3 and 5)")
-		traceOut  = flag.String("trace", "", "write a task trace of all MrMC runs here (.jsonl = JSON lines, anything else = Chrome trace_event)")
-		faultSpec = flag.String("faults", "", "fault-injection plan for MrMC runs: 'chaos' or comma-separated crash=P,kill=NODE@DUR,... (results unchanged; modelled time includes recovery)")
-		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
-		ckptDir   = flag.String("checkpoint-dir", "", "journal every MrMC run's stages under this directory (per-run subdirectories; enables -resume)")
-		resume    checkpoint.ResumeFlag
+		table      = flag.Int("table", 0, "regenerate table 3, 4 or 5")
+		figure     = flag.Int("figure", 0, "regenerate figure 2")
+		ablation   = flag.String("ablation", "", "run ablation: theta, estimator, speculative, errormodel, bbit or scaling")
+		svg        = flag.String("svg", "", "write the Figure 2 chart to this SVG file")
+		all        = flag.Bool("all", false, "run everything")
+		scale      = flag.Float64("scale", 0.01, "dataset scale in (0,1]")
+		seed       = flag.Int64("seed", 1, "generation seed")
+		nodes      = flag.Int("nodes", 8, "simulated cluster nodes for MrMC runs")
+		samples    = flag.String("samples", "", "comma-separated sample subset (tables 3 and 5)")
+		traceOut   = flag.String("trace", "", "write a task trace of all MrMC runs here (.jsonl = JSON lines, anything else = Chrome trace_event)")
+		faultSpec  = flag.String("faults", "", "fault-injection plan for MrMC runs: 'chaos' or comma-separated crash=P,kill=NODE@DUR,... (results unchanged; modelled time includes recovery)")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
+		ckptDir    = flag.String("checkpoint-dir", "", "journal every MrMC run's stages under this directory (per-run subdirectories; enables -resume)")
+		shuffleBuf = flag.Int("shuffle-buffer", 0, "map-side sort buffer bytes for MrMC runs; >0 switches jobs onto the external spill-and-merge shuffle (0 = in-memory)")
+		resume     checkpoint.ResumeFlag
 	)
 	flag.Var(&resume, "resume", "resume interrupted MrMC runs from -checkpoint-dir; 'force' discards all journals first")
 	flag.Parse()
@@ -63,6 +64,7 @@ func run() error {
 	cfg.Seed = *seed
 	cfg.Cluster = mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel}
 	cfg.Trace = rec
+	cfg.ShuffleBufferBytes = *shuffleBuf
 	if *faultSpec != "" {
 		plan, err := faults.ParsePlan(*faultSpec, *faultSeed)
 		if err != nil {

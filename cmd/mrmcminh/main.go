@@ -58,6 +58,7 @@ func run() error {
 		faultSpec    = flag.String("faults", "", "fault-injection plan: 'chaos' or comma-separated crash=P,maxcrash=N,taskfail=JOB:PHASE:TASK:UPTO,kill=NODE@DUR,slow=NODE@FACTOR,driver-crash:after=STAGE (clustering output is unaffected; modelled time includes recovery)")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
 		ckptDir      = flag.String("checkpoint-dir", "", "journal each pipeline stage's committed output under this directory (enables -resume after a driver crash)")
+		shuffleBuf   = flag.Int("shuffle-buffer", 0, "map-side sort buffer bytes; >0 switches jobs onto the external spill-and-merge shuffle (0 = in-memory)")
 		resume       checkpoint.ResumeFlag
 	)
 	flag.Var(&resume, "resume", "resume from -checkpoint-dir, skipping stages whose checkpoint validates; 'force' discards the journal first")
@@ -87,15 +88,16 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "fault injection: %s (seed %d)\n", plan, *faultSeed)
 	}
 	opt := mrmcminh.Options{
-		K:         *k,
-		NumHashes: *hashes,
-		Theta:     *theta,
-		Canonical: *canonical,
-		UseLSH:    *useLSH,
-		Seed:      *seed,
-		Cluster:   mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel},
-		Trace:     rec,
-		Faults:    injector,
+		K:                  *k,
+		NumHashes:          *hashes,
+		Theta:              *theta,
+		Canonical:          *canonical,
+		UseLSH:             *useLSH,
+		Seed:               *seed,
+		Cluster:            mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel},
+		ShuffleBufferBytes: *shuffleBuf,
+		Trace:              rec,
+		Faults:             injector,
 	}
 	switch *mode {
 	case "hierarchical":

@@ -82,6 +82,7 @@ func run() error {
 		faultSpec  = flag.String("faults", "", "fault-injection plan, e.g. 'chaos' or driver-crash:after=store:/out/hierarchical (see mrmcminh -faults)")
 		faultSeed  = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
 		ckptDir    = flag.String("checkpoint-dir", "", "journal each STORE's committed bytes under this directory (enables -resume)")
+		shuffleBuf = flag.Int("shuffle-buffer", 0, "map-side sort buffer bytes; >0 switches the script's jobs onto the external spill-and-merge shuffle (0 = in-memory)")
 		resume     checkpoint.ResumeFlag
 	)
 	flag.Var(params, "p", "script parameter NAME=VALUE (repeatable)")
@@ -175,7 +176,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		so := core.ScriptOptions{Trace: rec, Faults: injector, Checkpoint: journal, Resume: resume.On}
+		so := core.ScriptOptions{Trace: rec, Faults: injector, Checkpoint: journal, Resume: resume.On, ShuffleBufferBytes: *shuffleBuf}
 		res, err := core.RunScriptOpts(fs, mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel}, p, *seed, so)
 		if err != nil {
 			return err
@@ -199,13 +200,14 @@ func run() error {
 		engine.Trace = rec
 		engine.Faults = injector
 		ctx := &pig.Context{
-			FS:         fs,
-			Engine:     engine,
-			Registry:   registry,
-			Params:     params,
-			Seed:       *seed,
-			Checkpoint: journal,
-			Resume:     resume.On,
+			FS:                 fs,
+			Engine:             engine,
+			Registry:           registry,
+			Params:             params,
+			Seed:               *seed,
+			Checkpoint:         journal,
+			Resume:             resume.On,
+			ShuffleBufferBytes: *shuffleBuf,
 		}
 		res, err := script.Run(ctx)
 		if err != nil {

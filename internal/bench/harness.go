@@ -50,6 +50,10 @@ type Config struct {
 	// MrMC-MinH run (baseline methods do not use the simulated cluster).
 	// Results are unchanged; the modelled time includes the recovery.
 	Faults *faults.Injector
+	// ShuffleBufferBytes caps the map-side sort buffer of every MrMC-MinH
+	// run's jobs (see mapreduce.Job.ShuffleBufferBytes); 0 keeps the
+	// in-memory shuffle. Results are unchanged either way.
+	ShuffleBufferBytes int
 	// CheckpointStore, when non-nil, journals every MrMC-MinH run's
 	// stages under a per-run content-addressed directory (run name plus
 	// input hash), so an interrupted experiment sweep can resume.
@@ -126,6 +130,7 @@ func Table(title string, rows []Row) string {
 func runMrMC(name string, reads []fasta.Record, truth []string, opt core.Options, cfg Config) (Row, error) {
 	opt.Trace = cfg.Trace
 	opt.Faults = cfg.Faults
+	opt.ShuffleBufferBytes = cfg.ShuffleBufferBytes
 	if cfg.CheckpointStore != nil {
 		dir := "/" + slug(name) + "-" + core.HashReads(reads)[:12]
 		journal, err := checkpoint.Open(cfg.CheckpointStore, dir)

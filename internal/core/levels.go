@@ -52,17 +52,17 @@ func RunLevels(reads []fasta.Record, opt Options, thetas []float64) (*LevelsResu
 	for i := range reads {
 		res.ReadIDs[i] = reads[i].ID
 	}
-	sigs, virt, err := sketchJob(engine, reads, opt)
+	sigs, skOut, err := sketchJob(engine, reads, opt)
 	if err != nil {
 		return nil, err
 	}
-	res.Virtual += virt
+	res.Virtual += skOut.Virtual
 	res.Jobs++
-	m, virt, err := similarityJob(engine, sigs, opt)
+	m, simOut, err := similarityJob(engine, sigs, opt)
 	if err != nil {
 		return nil, err
 	}
-	res.Virtual += virt
+	res.Virtual += simOut.Virtual
 	res.Jobs++
 	dend, err := cluster.Hierarchical(m, cluster.HierarchicalOptions{Linkage: opt.Linkage})
 	if err != nil {

@@ -68,6 +68,11 @@ type Options struct {
 	Seed int64
 	// Cluster is the simulated deployment; zero uses the paper's 8 nodes.
 	Cluster mapreduce.Cluster
+	// ShuffleBufferBytes caps each map task's sort buffer across the
+	// pipeline's jobs, switching them onto the external spill-and-merge
+	// shuffle (see mapreduce.Job.ShuffleBufferBytes). 0 keeps the
+	// in-memory shuffle. Clustering output is bit-identical either way.
+	ShuffleBufferBytes int
 	// Trace, when non-nil, receives one span per MapReduce job, task and
 	// shuffle across the pipeline's jobs. Nil (the default) disables
 	// tracing at no cost.
@@ -155,6 +160,10 @@ type Result struct {
 	Real time.Duration
 	// Jobs counts launched MapReduce jobs.
 	Jobs int
+	// Counters aggregates the engine counters of every executed job
+	// (shuffle bytes, spills, merge passes, attempts, ...). Stages
+	// restored from a checkpoint contribute nothing. Nil when no job ran.
+	Counters map[string]int64
 	// SkippedStages lists the stages restored from the checkpoint journal
 	// instead of re-executed, in pipeline order (nil on fresh runs).
 	SkippedStages []string
@@ -270,6 +279,20 @@ func Run(reads []fasta.Record, opt Options) (*Result, error) {
 	for i := range reads {
 		res.ReadIDs[i] = reads[i].ID
 	}
+	// addJob folds one executed MapReduce job into the pipeline result.
+	addJob := func(out *mapreduce.Result) {
+		res.Virtual += out.Virtual
+		res.Jobs++
+		if out.Counters == nil {
+			return
+		}
+		if res.Counters == nil {
+			res.Counters = make(map[string]int64)
+		}
+		for k, v := range out.Counters.Snapshot() {
+			res.Counters[k] += v
+		}
+	}
 
 	// Stage inputs are content-addressed: each stage's inputs hash is the
 	// hash of the previous stage's committed bytes, so a change anywhere
@@ -295,12 +318,11 @@ func Run(reads []fasta.Record, opt Options) (*Result, error) {
 		}
 		sigBytes = data
 	} else {
-		var virt time.Duration
-		if sigs, virt, err = sketchJob(engine, reads, opt); err != nil {
+		var mrout *mapreduce.Result
+		if sigs, mrout, err = sketchJob(engine, reads, opt); err != nil {
 			return nil, err
 		}
-		res.Virtual += virt
-		res.Jobs++
+		addJob(mrout)
 		if opt.Checkpoint != nil {
 			sigBytes = encodeSignatures(sigs)
 		}
@@ -327,13 +349,12 @@ func Run(reads []fasta.Record, opt Options) (*Result, error) {
 				return nil, err
 			}
 		} else {
-			labels, virt, err := greedyJob(engine, sigs, opt)
+			labels, mrout, err := greedyJob(engine, sigs, opt)
 			if err != nil {
 				return nil, err
 			}
 			res.Assignments = labels
-			res.Virtual += virt
-			res.Jobs++
+			addJob(mrout)
 			if err := ck.commit(StageGreedy, sigsHash, greedyParams, func() []byte { return encodeLabels(labels) }); err != nil {
 				return nil, err
 			}
@@ -352,12 +373,11 @@ func Run(reads []fasta.Record, opt Options) (*Result, error) {
 			}
 			matBytes = data
 		} else {
-			var virt time.Duration
-			if m, virt, err = similarityJob(engine, sigs, opt); err != nil {
+			var mrout *mapreduce.Result
+			if m, mrout, err = similarityJob(engine, sigs, opt); err != nil {
 				return nil, err
 			}
-			res.Virtual += virt
-			res.Jobs++
+			addJob(mrout)
 			if opt.Checkpoint != nil {
 				matBytes = encodeMatrix(m)
 			}
@@ -399,10 +419,10 @@ func Run(reads []fasta.Record, opt Options) (*Result, error) {
 // Map tasks run the slice-based SketchInto kernel: k-mer occurrences are
 // streamed into a pooled scratch buffer (duplicates do not change the
 // minima) so the hot path never materializes a kmer.Set map.
-func sketchJob(engine *mapreduce.Engine, reads []fasta.Record, opt Options) ([]minhash.Signature, time.Duration, error) {
+func sketchJob(engine *mapreduce.Engine, reads []fasta.Record, opt Options) ([]minhash.Signature, *mapreduce.Result, error) {
 	sk, err := minhash.NewSketcher(opt.NumHashes, opt.K, opt.Seed)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
 	ex := &kmer.Extractor{K: opt.K, Canonical: opt.Canonical}
 	scratch := sync.Pool{New: func() any { return new([]uint64) }}
@@ -411,8 +431,9 @@ func sketchJob(engine *mapreduce.Engine, reads []fasta.Record, opt Options) ([]m
 		records[i] = mapreduce.KeyValue{Key: fmt.Sprintf("%012d", i), Value: i}
 	}
 	job := &mapreduce.Job{
-		Name:  "mrmcminh-sketch",
-		Input: mapreduce.MemoryInput{Records: records, SplitSize: splitSize(len(records), engine.Cluster)},
+		Name:               "mrmcminh-sketch",
+		Input:              mapreduce.MemoryInput{Records: records, SplitSize: splitSize(len(records), engine.Cluster)},
+		ShuffleBufferBytes: opt.ShuffleBufferBytes,
 		// Sketching one read costs ~L·n hash evaluations, far above the
 		// baseline per-record map cost.
 		MapCostFactor: float64(opt.NumHashes) / 2,
@@ -429,22 +450,22 @@ func sketchJob(engine *mapreduce.Engine, reads []fasta.Record, opt Options) ([]m
 	}
 	out, err := engine.Run(job)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
 	sigs := make([]minhash.Signature, len(reads))
 	for _, kv := range out.Output {
 		var idx int
 		if _, err := fmt.Sscanf(kv.Key, "%d", &idx); err != nil {
-			return nil, 0, err
+			return nil, nil, err
 		}
 		sigs[idx] = kv.Value.(minhash.Signature)
 	}
-	return sigs, out.Virtual, nil
+	return sigs, out, nil
 }
 
 // greedyJob runs Algorithm 1 inside a single reducer (the paper's GROUP
 // ALL followed by the GreedyClustering UDF).
-func greedyJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Options) (metrics.Clustering, time.Duration, error) {
+func greedyJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Options) (metrics.Clustering, *mapreduce.Result, error) {
 	type indexedSig struct {
 		idx int
 		sig minhash.Signature
@@ -455,9 +476,10 @@ func greedyJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Options) 
 	}
 	labels := make(metrics.Clustering, len(sigs))
 	job := &mapreduce.Job{
-		Name:        "mrmcminh-greedy",
-		Input:       mapreduce.MemoryInput{Records: records, SplitSize: splitSize(len(records), engine.Cluster)},
-		NumReducers: 1,
+		Name:               "mrmcminh-greedy",
+		Input:              mapreduce.MemoryInput{Records: records, SplitSize: splitSize(len(records), engine.Cluster)},
+		NumReducers:        1,
+		ShuffleBufferBytes: opt.ShuffleBufferBytes,
 		// The greedy sweep compares each read against the shrinking set of
 		// cluster representatives — modelled as a bounded constant per
 		// read, far below the hierarchical all-pairs row cost.
@@ -489,19 +511,19 @@ func greedyJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Options) 
 	}
 	out, err := engine.Run(job)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
-	return labels, out.Virtual, nil
+	return labels, out, nil
 }
 
 // similarityJob computes the all-pairs matrix with row-partitioned map
 // tasks (paper §III-C: "calculation of all pairwise similarity is
 // performed in parallel by performing a row-wise partition").
-func similarityJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Options) (*cluster.Matrix, time.Duration, error) {
+func similarityJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Options) (*cluster.Matrix, *mapreduce.Result, error) {
 	n := len(sigs)
 	m, err := cluster.NewMatrix(n)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
 	records := make([]mapreduce.KeyValue, n)
 	for i := range records {
@@ -516,8 +538,9 @@ func similarityJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Optio
 	// signatures per pair).
 	prep := minhash.PrepareAll(sigs)
 	job := &mapreduce.Job{
-		Name:  "mrmcminh-simrows",
-		Input: mapreduce.MemoryInput{Records: records, SplitSize: splitSize(n, engine.Cluster)},
+		Name:               "mrmcminh-simrows",
+		Input:              mapreduce.MemoryInput{Records: records, SplitSize: splitSize(n, engine.Cluster)},
+		ShuffleBufferBytes: opt.ShuffleBufferBytes,
 		// One record = one matrix row = ~n signature comparisons, each a
 		// ~100-value sketch scan plus Hadoop (de)serialization.
 		MapCostFactor: float64(n) * 2.5,
@@ -533,7 +556,7 @@ func similarityJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Optio
 	}
 	out, err := engine.Run(job)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
 	for _, kv := range out.Output {
 		rr := kv.Value.(rowResult)
@@ -541,7 +564,7 @@ func similarityJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Optio
 			m.Set(rr.idx, j, rr.row[j])
 		}
 	}
-	return m, out.Virtual, nil
+	return m, out, nil
 }
 
 // splitSize sizes in-memory splits for the cluster (two waves per slot).

@@ -68,6 +68,10 @@ type ScriptOptions struct {
 	Faults     *faults.Injector
 	Checkpoint *checkpoint.Journal
 	Resume     bool
+	// ShuffleBufferBytes caps each map task's sort buffer on the script's
+	// jobs (see mapreduce.Job.ShuffleBufferBytes); 0 keeps the in-memory
+	// shuffle.
+	ShuffleBufferBytes int
 }
 
 // nextPrimeAbove returns the smallest prime > n (trial division; the
@@ -130,12 +134,13 @@ func RunScriptOpts(fs *dfs.FileSystem, clusterCfg mapreduce.Cluster, p ScriptPar
 		fs.SetTrace(rec)
 	}
 	ctx := &pig.Context{
-		FS:         fs,
-		Engine:     engine,
-		Registry:   NewRegistry(),
-		Seed:       seed,
-		Checkpoint: so.Checkpoint,
-		Resume:     so.Resume,
+		FS:                 fs,
+		Engine:             engine,
+		Registry:           NewRegistry(),
+		Seed:               seed,
+		Checkpoint:         so.Checkpoint,
+		Resume:             so.Resume,
+		ShuffleBufferBytes: so.ShuffleBufferBytes,
 		Params: map[string]string{
 			"INPUT":   p.Input,
 			"OUTPUT1": p.Output1,

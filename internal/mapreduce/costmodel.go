@@ -21,6 +21,12 @@ type CostModel struct {
 	// ShufflePerByte is the modelled network cost to move one byte of
 	// intermediate data between nodes.
 	ShufflePerByte time.Duration
+	// SpillPerByte is the modelled local-disk cost to write or read one
+	// byte of spilled map output (external shuffle only; Hadoop spills to
+	// the tasktracker's local disks, not the DFS). Every spilled byte is
+	// charged at least twice — the map-side write and the reducer-side
+	// merge read — plus one write+read more per intermediate merge pass.
+	SpillPerByte time.Duration
 	// RemoteReadPenalty multiplies a map task's input cost when its split
 	// is not local to the node it runs on (1.0 = free).
 	RemoteReadPenalty float64
@@ -39,6 +45,7 @@ var DefaultCostModel = CostModel{
 	MapPerRecord:      200 * time.Microsecond,
 	ReducePerRecord:   150 * time.Microsecond,
 	ShufflePerByte:    10 * time.Nanosecond,
+	SpillPerByte:      4 * time.Nanosecond, // local disk, ~2.5x the network rate
 	RemoteReadPenalty: 1.3,
 }
 
@@ -207,13 +214,17 @@ func (c Cluster) mapTaskCost(split InputSplit, factor float64) TaskCost {
 	return TaskCost{Duration: d, PreferredHosts: split.Hosts}
 }
 
-// reduceTaskCost models one reduce task over a partition.
-func (c Cluster) reduceTaskCost(values int, shuffleBytes int, factor float64) TaskCost {
+// reduceTaskCost models one reduce task over a partition. spillIOBytes
+// is the external shuffle's local-disk traffic attributed to this
+// partition (map-side spill writes plus every merge-pass read/write,
+// zero on the in-memory path), charged at SpillPerByte.
+func (c Cluster) reduceTaskCost(values int, shuffleBytes int, spillIOBytes int64, factor float64) TaskCost {
 	if factor <= 0 {
 		factor = 1
 	}
 	d := c.Cost.TaskStartup +
 		time.Duration(float64(values)*factor*float64(c.Cost.ReducePerRecord)) +
-		time.Duration(float64(shuffleBytes)*float64(c.Cost.ShufflePerByte))
+		time.Duration(float64(shuffleBytes)*float64(c.Cost.ShufflePerByte)) +
+		time.Duration(float64(spillIOBytes)*float64(c.Cost.SpillPerByte))
 	return TaskCost{Duration: d}
 }

@@ -65,6 +65,21 @@ const (
 	CounterShuffleBytes       = "shuffle.bytes"
 )
 
+// External-shuffle counter names, maintained when Job.ShuffleBufferBytes
+// caps the map-side sort buffer (all zero on the in-memory path).
+const (
+	// CounterShuffleSpills counts map-side spill events: every flush of a
+	// full sort buffer plus each task's final flush.
+	CounterShuffleSpills = "shuffle.spills"
+	// CounterShuffleSpilledBytes totals the approximate bytes written to
+	// simulated local disk across all spills.
+	CounterShuffleSpilledBytes = "shuffle.spilled_bytes"
+	// CounterShuffleMergePasses counts reducer merge passes (intermediate
+	// passes forced by MergeFanIn plus the final streaming pass of every
+	// partition with at least one segment).
+	CounterShuffleMergePasses = "shuffle.merge_passes"
+)
+
 // Recovery counter names, maintained by the fault-aware scheduler when an
 // injector is attached (all zero on fault-free runs).
 const (

@@ -3,7 +3,8 @@ package mapreduce
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 	"time"
 
@@ -121,6 +122,20 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	// vbase anchors this job's task spans on the recorder's virtual clock.
 	vbase := rec.VirtualNow()
 
+	// An empty input yields zero splits: no tasks run, the output is empty
+	// and nothing is charged to the virtual clock.
+	if len(splits) == 0 {
+		return &Result{Counters: counters, Real: time.Since(start)}, nil
+	}
+
+	// The external shuffle applies only when there is a reduce phase to
+	// feed; a map-only job's output never crosses a sort buffer.
+	extOn := job.ShuffleBufferBytes > 0 && job.Reduce != nil
+	var spillBufs []*mapSpillBuffer
+	if extOn {
+		spillBufs = make([]*mapSpillBuffer, len(splits))
+	}
+
 	// ----- Map phase -----
 	mapOuts := make([][]KeyValue, len(splits)) // per map task output
 	var mapCosts []TaskCost
@@ -165,6 +180,35 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 			t0 = time.Now()
 		}
 		sp := splits[ti]
+		if extOn {
+			// Emit into the task's bounded sort buffer; overflows spill
+			// sorted, partitioned segments instead of growing the output.
+			buf := newMapSpillBuffer(job, ti, numRed, part, counters)
+			spillBufs[ti] = buf
+			var spillErr error
+			emit := func(kv KeyValue) {
+				if spillErr == nil {
+					spillErr = buf.add(kv)
+				}
+			}
+			for _, kv := range sp.Records {
+				if err := job.Map(kv, emit); err != nil {
+					return fmt.Errorf("mapreduce: job %q map task %d: %w", job.Name, ti, err)
+				}
+				if spillErr != nil {
+					return spillErr
+				}
+			}
+			if err := buf.close(); err != nil {
+				return err
+			}
+			counters.Add(CounterMapInputRecords, int64(len(sp.Records)))
+			counters.Add(CounterMapOutputRecords, buf.emitted)
+			if rec.Enabled() {
+				mapReal[ti] = time.Since(t0)
+			}
+			return nil
+		}
 		var out []KeyValue
 		emit := func(kv KeyValue) { out = append(out, kv) }
 		for _, kv := range sp.Records {
@@ -203,7 +247,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		if rec.Enabled() {
 			for _, pl := range mapPlacements {
 				sp := splits[pl.Task]
-				rec.Emit(trace.Span{
+				id := rec.Emit(trace.Span{
 					Parent:  jobRef.ID,
 					Kind:    trace.KindMap,
 					Name:    fmt.Sprintf("%s/map[%d]", job.Name, pl.Task),
@@ -215,7 +259,12 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 					RStart:  rec.RealNow(),
 					RDur:    mapReal[pl.Task],
 				})
-				if job.Combine != nil {
+				if extOn {
+					e.emitSpills(rec, id, job, spillBufs[pl.Task], pl.Task, pl.Node, mapStart+pl.End)
+				}
+				// On the external path the combiner runs inside each spill,
+				// so its work shows up in the spill spans instead.
+				if job.Combine != nil && !extOn {
 					rec.Emit(trace.Span{
 						Parent:  jobRef.ID,
 						Kind:    trace.KindCombine,
@@ -231,7 +280,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	} else {
 		mapMakespan = maxTaskEnd(simMapTasks)
 		if rec.Enabled() {
-			e.emitMapAttempts(rec, jobRef, job, sim, simMapTasks, splits, mapStart, mapReal, combineReal, combineOut)
+			e.emitMapAttempts(rec, jobRef, job, sim, simMapTasks, splits, spillBufs, mapStart, mapReal, combineReal, combineOut)
 		}
 	}
 
@@ -257,17 +306,58 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		return res, nil
 	}
 
-	// ----- Shuffle: partition, then sort each partition by key -----
-	partitions := make([][]KeyValue, numRed)
+	// ----- Shuffle -----
+	// The in-memory path materializes each partition whole and defers the
+	// sort to the reducer. The external path already partitioned and
+	// sorted the records into spill segments on the map side, so here it
+	// only gathers segments (in map-task order, preserving determinism)
+	// and plans each reducer's k-way merge schedule.
+	var partitions [][]KeyValue
 	shuffleBytes := make([]int, numRed)
-	for _, out := range mapOuts {
-		for _, kv := range out {
-			p := part(kv.Key, numRed)
-			if p < 0 || p >= numRed {
-				return nil, fmt.Errorf("mapreduce: job %q partitioner returned %d of %d", job.Name, p, numRed)
+	partRecords := make([]int, numRed)
+	var ext *extShuffle
+	if extOn {
+		ext = &extShuffle{
+			segs:   make([][]spillSegment, numRed),
+			steps:  make([][]mergeStep, numRed),
+			io:     make([]int64, numRed),
+			passes: make([]int, numRed),
+		}
+		for _, buf := range spillBufs {
+			for p := 0; p < numRed; p++ {
+				ext.segs[p] = append(ext.segs[p], buf.segs[p]...)
 			}
-			partitions[p] = append(partitions[p], kv)
-			shuffleBytes[p] += len(kv.Key) + approxValueBytes(kv.Value)
+		}
+		for p := 0; p < numRed; p++ {
+			sizes := make([]int64, len(ext.segs[p]))
+			var spillWrite int64
+			for i, s := range ext.segs[p] {
+				sizes[i] = int64(s.bytes)
+				spillWrite += int64(s.bytes)
+				shuffleBytes[p] += s.bytes
+				partRecords[p] += len(s.recs)
+			}
+			steps, mergeIO, passes := planMerge(sizes, job.MergeFanIn)
+			ext.steps[p] = steps
+			// Local-disk traffic charged to this reducer: the map-side
+			// segment writes plus every merge-pass read and write.
+			ext.io[p] = spillWrite + mergeIO
+			ext.passes[p] = passes
+		}
+	} else {
+		partitions = make([][]KeyValue, numRed)
+		for _, out := range mapOuts {
+			for _, kv := range out {
+				p := part(kv.Key, numRed)
+				if p < 0 || p >= numRed {
+					return nil, fmt.Errorf("mapreduce: job %q partitioner returned %d of %d", job.Name, p, numRed)
+				}
+				partitions[p] = append(partitions[p], kv)
+				shuffleBytes[p] += len(kv.Key) + approxValueBytes(kv.Value)
+			}
+		}
+		for p := range partitions {
+			partRecords[p] = len(partitions[p])
 		}
 	}
 	for _, b := range shuffleBytes {
@@ -277,8 +367,12 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	// ----- Reduce phase -----
 	reduceOuts := make([][]KeyValue, numRed)
 	var reduceCosts []TaskCost
-	for p := range partitions {
-		reduceCosts = append(reduceCosts, e.Cluster.reduceTaskCost(len(partitions[p]), shuffleBytes[p], job.ReduceCostFactor))
+	for p := 0; p < numRed; p++ {
+		var spillIO int64
+		if ext != nil {
+			spillIO = ext.io[p]
+		}
+		reduceCosts = append(reduceCosts, e.Cluster.reduceTaskCost(partRecords[p], shuffleBytes[p], spillIO, job.ReduceCostFactor))
 	}
 	var simReduceTasks []*simTask
 	if sim != nil {
@@ -304,25 +398,41 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		if rec.Enabled() {
 			t0 = time.Now()
 		}
-		recs := partitions[p]
-		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
 		var out []KeyValue
 		emit := func(kv KeyValue) { out = append(out, kv) }
-		for i := 0; i < len(recs); {
-			j := i
-			for j < len(recs) && recs[j].Key == recs[i].Key {
-				j++
-			}
-			values := make([]any, 0, j-i)
-			for t := i; t < j; t++ {
-				values = append(values, recs[t].Value)
-			}
-			if err := job.Reduce(recs[i].Key, values, emit); err != nil {
-				return fmt.Errorf("mapreduce: job %q reduce partition %d key %q: %w", job.Name, p, recs[i].Key, err)
+		group := func(key string, values []any) error {
+			if err := job.Reduce(key, values, emit); err != nil {
+				return fmt.Errorf("mapreduce: job %q reduce partition %d key %q: %w", job.Name, p, key, err)
 			}
 			counters.Add(CounterReduceInputGroups, 1)
-			counters.Add(CounterReduceInputRecords, int64(j-i))
-			i = j
+			counters.Add(CounterReduceInputRecords, int64(len(values)))
+			return nil
+		}
+		if ext != nil {
+			// Stream the planned k-way merge over this partition's spill
+			// segments; groups reach the reducer without the partition
+			// ever being materialized whole.
+			counters.Add(CounterShuffleMergePasses, int64(ext.passes[p]))
+			if err := mergePartition(ext.segs[p], ext.steps[p], group); err != nil {
+				return err
+			}
+		} else {
+			recs := partitions[p]
+			slices.SortStableFunc(recs, func(a, b KeyValue) int { return strings.Compare(a.Key, b.Key) })
+			for i := 0; i < len(recs); {
+				j := i
+				for j < len(recs) && recs[j].Key == recs[i].Key {
+					j++
+				}
+				values := make([]any, 0, j-i)
+				for t := i; t < j; t++ {
+					values = append(values, recs[t].Value)
+				}
+				if err := group(recs[i].Key, values); err != nil {
+					return err
+				}
+				i = j
+			}
 		}
 		counters.Add(CounterReduceOutput, int64(len(out)))
 		reduceOuts[p] = out
@@ -340,10 +450,10 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		reduceMakespan = makespan
 		if rec.Enabled() {
 			reduceStart := mapStart + mapMakespan
-			e.emitReducePlacements(rec, jobRef, job, reducePlacements, partitions, shuffleBytes, reduceStart, reduceReal)
+			e.emitReducePlacements(rec, jobRef, job, reducePlacements, partRecords, shuffleBytes, ext, reduceStart, reduceReal)
 		}
 	} else if rec.Enabled() {
-		e.emitReduceAttempts(rec, jobRef, job, sim, simReduceTasks, partitions, shuffleBytes, mapStart, reduceReal)
+		e.emitReduceAttempts(rec, jobRef, job, sim, simReduceTasks, partRecords, shuffleBytes, ext, mapStart, reduceReal)
 	}
 
 	var output []KeyValue
@@ -370,9 +480,61 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	return res, nil
 }
 
+// extShuffle carries the external shuffle's per-partition state between
+// the shuffle-planning, cost and trace stages of Run.
+type extShuffle struct {
+	segs   [][]spillSegment
+	steps  [][]mergeStep
+	io     []int64 // spill writes + merge read/write bytes
+	passes []int
+}
+
+// emitSpills renders one map task's spill events as KindSpill children of
+// its map span, stacked sequentially after the map window (the write-out
+// of each buffer flush).
+func (e *Engine) emitSpills(rec *trace.Recorder, parent int64, job *Job, buf *mapSpillBuffer, task, node int, vstart time.Duration) {
+	if buf == nil {
+		return
+	}
+	for si, ev := range buf.events {
+		d := time.Duration(float64(ev.bytes) * float64(e.Cluster.Cost.SpillPerByte))
+		rec.Emit(trace.Span{
+			Parent:  parent,
+			Kind:    trace.KindSpill,
+			Name:    fmt.Sprintf("%s/spill[%d.%d]", job.Name, task, si),
+			Node:    node,
+			Records: ev.records,
+			Bytes:   ev.bytes,
+			VStart:  vstart,
+			VDur:    d,
+		})
+		vstart += d
+	}
+}
+
+// emitMerge renders one reducer's merge phase as a KindMerge child of its
+// reduce span, sized by the partition's total local-disk traffic.
+func (e *Engine) emitMerge(rec *trace.Recorder, parent int64, job *Job, ext *extShuffle, p, node int, records int64, vstart time.Duration) {
+	if ext.passes[p] == 0 {
+		return
+	}
+	rec.Emit(trace.Span{
+		Parent:  parent,
+		Kind:    trace.KindMerge,
+		Name:    fmt.Sprintf("%s/merge[%d]", job.Name, p),
+		Node:    node,
+		Records: records,
+		Bytes:   ext.io[p],
+		Detail:  fmt.Sprintf("passes=%d segments=%d", ext.passes[p], len(ext.segs[p])),
+		VStart:  vstart,
+		VDur:    time.Duration(float64(ext.io[p]) * float64(e.Cluster.Cost.SpillPerByte)),
+	})
+}
+
 // emitReducePlacements renders the fault-free reduce schedule as trace
-// spans (one reduce span per task with shuffle and sort children).
-func (e *Engine) emitReducePlacements(rec *trace.Recorder, jobRef trace.SpanRef, job *Job, reducePlacements []TaskPlacement, partitions [][]KeyValue, shuffleBytes []int, reduceStart time.Duration, reduceReal []time.Duration) {
+// spans: one reduce span per task with a shuffle child, plus either a
+// sort marker (in-memory path) or a merge child (external path).
+func (e *Engine) emitReducePlacements(rec *trace.Recorder, jobRef trace.SpanRef, job *Job, reducePlacements []TaskPlacement, partRecords []int, shuffleBytes []int, ext *extShuffle, reduceStart time.Duration, reduceReal []time.Duration) {
 	for _, pl := range reducePlacements {
 		p := pl.Task
 		id := rec.Emit(trace.Span{
@@ -380,7 +542,7 @@ func (e *Engine) emitReducePlacements(rec *trace.Recorder, jobRef trace.SpanRef,
 			Kind:    trace.KindReduce,
 			Name:    fmt.Sprintf("%s/reduce[%d]", job.Name, p),
 			Node:    pl.Node,
-			Records: int64(len(partitions[p])),
+			Records: int64(partRecords[p]),
 			Bytes:   int64(shuffleBytes[p]),
 			VStart:  reduceStart + pl.Start,
 			VDur:    pl.End - pl.Start,
@@ -388,9 +550,9 @@ func (e *Engine) emitReducePlacements(rec *trace.Recorder, jobRef trace.SpanRef,
 			RDur:    reduceReal[p],
 		})
 		// The reduce window models startup, then the shuffle transfer
-		// of this partition's bytes, then sort + reduce compute. Emit
-		// the transfer as a child interval and the sort as an instant
-		// marker at its end, mirroring Hadoop's task phases.
+		// of this partition's bytes, then sort/merge + reduce compute.
+		// Emit the transfer as a child interval and the sort or merge
+		// after it, mirroring Hadoop's task phases.
 		shufDur := time.Duration(float64(shuffleBytes[p]) * float64(e.Cluster.Cost.ShufflePerByte))
 		if window := pl.End - pl.Start - e.Cluster.Cost.TaskStartup; shufDur > window && window > 0 {
 			shufDur = window
@@ -405,12 +567,16 @@ func (e *Engine) emitReducePlacements(rec *trace.Recorder, jobRef trace.SpanRef,
 			VStart: shufStart,
 			VDur:   shufDur,
 		})
+		if ext != nil {
+			e.emitMerge(rec, id, job, ext, p, pl.Node, int64(partRecords[p]), shufStart+shufDur)
+			continue
+		}
 		rec.Emit(trace.Span{
 			Parent:  id,
 			Kind:    trace.KindSort,
 			Name:    fmt.Sprintf("%s/sort[%d]", job.Name, p),
 			Node:    pl.Node,
-			Records: int64(len(partitions[p])),
+			Records: int64(partRecords[p]),
 			VStart:  shufStart + shufDur,
 		})
 	}
@@ -421,7 +587,7 @@ func (e *Engine) emitReducePlacements(rec *trace.Recorder, jobRef trace.SpanRef,
 // reason) and combine spans for the attempts whose output survived. Real
 // durations attach to final attempts only — that is the execution that
 // actually ran on this machine.
-func (e *Engine) emitMapAttempts(rec *trace.Recorder, jobRef trace.SpanRef, job *Job, sim *faultSim, tasks []*simTask, splits []InputSplit, mapStart time.Duration, mapReal, combineReal []time.Duration, combineOut []int64) {
+func (e *Engine) emitMapAttempts(rec *trace.Recorder, jobRef trace.SpanRef, job *Job, sim *faultSim, tasks []*simTask, splits []InputSplit, spillBufs []*mapSpillBuffer, mapStart time.Duration, mapReal, combineReal []time.Duration, combineOut []int64) {
 	for i, a := range sim.attempts {
 		if a.Phase != faults.PhaseMap {
 			continue
@@ -445,8 +611,11 @@ func (e *Engine) emitMapAttempts(rec *trace.Recorder, jobRef trace.SpanRef, job 
 			span.RStart = rec.RealNow()
 			span.RDur = mapReal[a.Task]
 		}
-		rec.Emit(span)
-		if final && job.Combine != nil {
+		id := rec.Emit(span)
+		if final && spillBufs != nil {
+			e.emitSpills(rec, id, job, spillBufs[a.Task], a.Task, a.Node, mapStart+a.End)
+		}
+		if final && job.Combine != nil && spillBufs == nil {
 			rec.Emit(trace.Span{
 				Parent:  jobRef.ID,
 				Kind:    trace.KindCombine,
@@ -462,8 +631,9 @@ func (e *Engine) emitMapAttempts(rec *trace.Recorder, jobRef trace.SpanRef, job 
 }
 
 // emitReduceAttempts renders a faulted reduce phase: every attempt as a
-// span, with shuffle and sort children on the surviving attempts.
-func (e *Engine) emitReduceAttempts(rec *trace.Recorder, jobRef trace.SpanRef, job *Job, sim *faultSim, tasks []*simTask, partitions [][]KeyValue, shuffleBytes []int, mapStart time.Duration, reduceReal []time.Duration) {
+// span, with shuffle plus sort (in-memory) or merge (external) children
+// on the surviving attempts.
+func (e *Engine) emitReduceAttempts(rec *trace.Recorder, jobRef trace.SpanRef, job *Job, sim *faultSim, tasks []*simTask, partRecords []int, shuffleBytes []int, ext *extShuffle, mapStart time.Duration, reduceReal []time.Duration) {
 	for i, a := range sim.attempts {
 		if a.Phase != faults.PhaseReduce {
 			continue
@@ -475,7 +645,7 @@ func (e *Engine) emitReduceAttempts(rec *trace.Recorder, jobRef trace.SpanRef, j
 			Kind:    trace.KindReduce,
 			Name:    fmt.Sprintf("%s/reduce[%d]", job.Name, p),
 			Node:    a.Node,
-			Records: int64(len(partitions[p])),
+			Records: int64(partRecords[p]),
 			Bytes:   int64(shuffleBytes[p]),
 			Detail:  a.Reason,
 			Attempt: a.Attempt,
@@ -501,12 +671,16 @@ func (e *Engine) emitReduceAttempts(rec *trace.Recorder, jobRef trace.SpanRef, j
 			VStart: mapStart + shufStart,
 			VDur:   shufEnd - shufStart,
 		})
+		if ext != nil {
+			e.emitMerge(rec, id, job, ext, p, a.Node, int64(partRecords[p]), mapStart+shufEnd)
+			continue
+		}
 		rec.Emit(trace.Span{
 			Parent:  id,
 			Kind:    trace.KindSort,
 			Name:    fmt.Sprintf("%s/sort[%d]", job.Name, p),
 			Node:    a.Node,
-			Records: int64(len(partitions[p])),
+			Records: int64(partRecords[p]),
 			Attempt: a.Attempt,
 			VStart:  mapStart + shufEnd,
 		})
@@ -515,7 +689,7 @@ func (e *Engine) emitReduceAttempts(rec *trace.Recorder, jobRef trace.SpanRef, j
 
 // combine applies the combiner to one map task's output.
 func (e *Engine) combine(job *Job, out []KeyValue, counters *Counters) ([]KeyValue, error) {
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	slices.SortStableFunc(out, func(a, b KeyValue) int { return strings.Compare(a.Key, b.Key) })
 	var combined []KeyValue
 	emit := func(kv KeyValue) { combined = append(combined, kv) }
 	for i := 0; i < len(out); {

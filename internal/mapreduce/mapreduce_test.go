@@ -232,6 +232,13 @@ func TestDefaultPartitionInRange(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
 	}
+	// Degenerate reducer counts are a sentinel, not a modulo crash; the
+	// engine rejects the -1 through its own range check.
+	for _, n := range []int{0, -1, -16} {
+		if p := DefaultPartition("key", n); p != -1 {
+			t.Fatalf("DefaultPartition(key, %d) = %d, want -1", n, p)
+		}
+	}
 }
 
 func TestDefaultPartitionDeterministic(t *testing.T) {

@@ -1,0 +1,401 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/metagenomics/mrmcminh/internal/faults"
+	"github.com/metagenomics/mrmcminh/internal/trace"
+)
+
+// spillingWordCount builds the canonical wordcount job with the external
+// shuffle forced on. A 24-byte buffer holds at most one record of the
+// manyLines vocabulary (12-15 bytes each), so every second add spills.
+func spillingWordCount(lines []string, combiner bool, bufBytes int) *Job {
+	j := wordCountJob(lines, combiner)
+	j.ShuffleBufferBytes = bufBytes
+	return j
+}
+
+func TestSpillShuffleBitIdenticalToInMemory(t *testing.T) {
+	lines := manyLines(20)
+	baseline, err := MustEngine(chaosCluster).Run(wordCountJob(lines, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spilled, err := MustEngine(chaosCluster).Run(spillingWordCount(lines, false, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(baseline.Output, spilled.Output) {
+		t.Fatalf("external shuffle changed job output:\n in-memory %v\n spilled   %v",
+			baseline.Output, spilled.Output)
+	}
+	if got := spilled.Counters.Get(CounterShuffleSpills); got == 0 {
+		t.Fatal("external shuffle recorded no spills")
+	}
+	if got := spilled.Counters.Get(CounterShuffleSpilledBytes); got == 0 {
+		t.Fatal("external shuffle recorded no spilled bytes")
+	}
+	if got := spilled.Counters.Get(CounterShuffleMergePasses); got < int64(spilled.ReduceTask) {
+		t.Fatalf("merge passes %d < one final pass per reducer (%d)", got, spilled.ReduceTask)
+	}
+	if baseline.Counters.Get(CounterShuffleSpills) != 0 {
+		t.Fatal("in-memory path recorded spills")
+	}
+	// Shuffle accounting must agree across paths: same records, same bytes.
+	if b, s := baseline.Counters.Get(CounterShuffleBytes), spilled.Counters.Get(CounterShuffleBytes); b != s {
+		t.Fatalf("shuffle.bytes diverged: in-memory %d, spilled %d", b, s)
+	}
+}
+
+func TestSpillShuffleMemoryBound(t *testing.T) {
+	lines := manyLines(12)
+	job := spillingWordCount(lines, false, 24)
+	res, err := MustEngine(chaosCluster).Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each map task covers 2 lines (SplitSize 2) and emits 4 records of
+	// 12-15 bytes; a 24-byte cap forces a spill every second record, i.e.
+	// at least two spills per map task (the acceptance bar).
+	if got, want := res.Counters.Get(CounterShuffleSpills), int64(2*res.MapTasks); got < want {
+		t.Fatalf("spills = %d, want >= %d (2 per map task)", got, want)
+	}
+	unbounded, err := MustEngine(chaosCluster).Run(wordCountJob(lines, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(unbounded.Output, res.Output) {
+		t.Fatal("memory-bounded run changed job output")
+	}
+	// Spill traffic is modelled I/O: the bounded run must cost virtual time.
+	if res.Virtual <= unbounded.Virtual {
+		t.Fatalf("spill I/O should cost virtual time: bounded %v <= unbounded %v", res.Virtual, unbounded.Virtual)
+	}
+}
+
+func TestSpillMultiPassMergeBitIdentical(t *testing.T) {
+	lines := manyLines(24)
+	baseline, err := MustEngine(chaosCluster).Run(wordCountJob(lines, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := spillingWordCount(lines, false, 24)
+	job.MergeFanIn = 2 // force intermediate merge passes
+	res, err := MustEngine(chaosCluster).Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(baseline.Output, res.Output) {
+		t.Fatal("multi-pass merge changed job output")
+	}
+	// With fan-in 2 and a dozen segments per partition, merging cannot
+	// finish in one pass per reducer.
+	if got := res.Counters.Get(CounterShuffleMergePasses); got <= int64(res.ReduceTask) {
+		t.Fatalf("merge passes %d implies single-pass merges despite fan-in 2", got)
+	}
+	wide := spillingWordCount(lines, false, 24)
+	wide.MergeFanIn = 64
+	wideRes, err := MustEngine(chaosCluster).Run(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(baseline.Output, wideRes.Output) {
+		t.Fatal("wide-fan-in merge changed job output")
+	}
+	if res.Virtual <= wideRes.Virtual {
+		t.Fatalf("extra merge passes should cost virtual time: fan-in 2 %v <= fan-in 64 %v",
+			res.Virtual, wideRes.Virtual)
+	}
+}
+
+// TestSpillCombinerPropertyEquivalence drives randomized jobs through all
+// four configurations — {in-memory, spilled} x {combiner off, on} — and
+// requires bit-identical output. Wordcount's reduce emits exactly one
+// record per key, and partitions are key-ordered, so the combiner cannot
+// legitimately change the output stream either.
+func TestSpillCombinerPropertyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	words := []string{"a", "bb", "ccc", "dd", "e", "ffff", "g"}
+	for trial := 0; trial < 40; trial++ {
+		nLines := 1 + rng.Intn(24)
+		lines := make([]string, nLines)
+		for i := range lines {
+			n := rng.Intn(7)
+			ws := make([]string, n)
+			for j := range ws {
+				ws[j] = words[rng.Intn(len(words))]
+			}
+			lines[i] = strings.Join(ws, " ")
+		}
+		bufBytes := 10 + rng.Intn(120)
+		fanIn := 2 + rng.Intn(5)
+		configure := func(combiner, spill bool) *Job {
+			j := wordCountJob(lines, combiner)
+			j.Input = MemoryInput{Records: j.Input.(MemoryInput).Records, SplitSize: 1 + rng.Intn(4)}
+			j.NumReducers = 1 + rng.Intn(4)
+			if spill {
+				j.ShuffleBufferBytes = bufBytes
+				j.MergeFanIn = fanIn
+			}
+			return j
+		}
+		// The split size and reducer count are drawn per variant from the
+		// same rng; reseed the stream per variant so all four match.
+		state := rng.Int63()
+		variant := func(combiner, spill bool) *Result {
+			t.Helper()
+			rng.Seed(state)
+			res, err := MustEngine(chaosCluster).Run(configure(combiner, spill))
+			if err != nil {
+				t.Fatalf("trial %d (combiner=%v spill=%v): %v", trial, combiner, spill, err)
+			}
+			return res
+		}
+		oracle := variant(false, false)
+		for _, cfg := range []struct{ combiner, spill bool }{{false, true}, {true, false}, {true, true}} {
+			res := variant(cfg.combiner, cfg.spill)
+			if !reflect.DeepEqual(oracle.Output, res.Output) {
+				t.Fatalf("trial %d: combiner=%v spill=%v diverged from oracle\n oracle %v\n got    %v",
+					trial, cfg.combiner, cfg.spill, oracle.Output, res.Output)
+			}
+		}
+	}
+}
+
+func TestSpillChaosMatrixBitIdentical(t *testing.T) {
+	lines := manyLines(40)
+	baseline, err := MustEngine(chaosCluster).Run(wordCountJob(lines, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			plan := faults.ChaosPlan(seed)
+			plan.NodeDeaths = []faults.NodeDeath{{Node: int(seed) % chaosCluster.Nodes, At: DefaultCostModel.JobStartup + 4*time.Second}}
+			e := MustEngine(chaosCluster)
+			e.Faults = faults.MustNew(plan)
+			res, err := e.Run(spillingWordCount(lines, false, 24))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(baseline.Output, res.Output) {
+				t.Fatal("chaos + spill run changed job output")
+			}
+			if res.Counters.Get(CounterShuffleSpills) == 0 {
+				t.Fatal("chaos run did not exercise the spill path")
+			}
+			again, err := func() (*Result, error) {
+				e := MustEngine(chaosCluster)
+				e.Faults = faults.MustNew(plan)
+				return e.Run(spillingWordCount(lines, false, 24))
+			}()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Virtual != res.Virtual {
+				t.Fatalf("seed %d not reproducible on spill path: %v vs %v", seed, res.Virtual, again.Virtual)
+			}
+		})
+	}
+}
+
+func TestSpillEmptyInputShortCircuits(t *testing.T) {
+	job := spillingWordCount(nil, false, 24)
+	job.Input = MemoryInput{SplitSize: 2}
+	res, err := MustEngine(chaosCluster).Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 0 || res.MapTasks != 0 || res.ReduceTask != 0 {
+		t.Fatalf("empty input ran work: %d records, %d/%d tasks", len(res.Output), res.MapTasks, res.ReduceTask)
+	}
+	if res.Virtual != 0 {
+		t.Fatalf("empty input cost virtual time %v", res.Virtual)
+	}
+}
+
+func TestSpillMapOnlyJobNeverSpills(t *testing.T) {
+	recs := make([]KeyValue, 10)
+	for i := range recs {
+		recs[i] = KeyValue{Key: fmt.Sprint(i), Value: i}
+	}
+	res, err := MustEngine(chaosCluster).Run(&Job{
+		Name:               "identity",
+		Input:              MemoryInput{Records: recs, SplitSize: 3},
+		ShuffleBufferBytes: 1, // would spill on every record if honored
+		Map: func(kv KeyValue, emit func(KeyValue)) error {
+			emit(kv)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Counters.Get(CounterShuffleSpills); got != 0 {
+		t.Fatalf("map-only job spilled %d times", got)
+	}
+	for i, kv := range res.Output {
+		if kv.Value.(int) != i {
+			t.Fatalf("map-only output order broken at %d: %v", i, kv.Value)
+		}
+	}
+}
+
+func TestSpillTraceSpans(t *testing.T) {
+	rec := trace.New()
+	e := MustEngine(chaosCluster)
+	e.Trace = rec
+	if _, err := e.Run(spillingWordCount(manyLines(8), true, 24)); err != nil {
+		t.Fatal(err)
+	}
+	var spills, merges, sorts, combines int
+	for _, s := range rec.Spans() {
+		switch s.Kind {
+		case trace.KindSpill:
+			spills++
+			if s.Bytes == 0 || s.Records == 0 {
+				t.Fatalf("spill span carries no payload: %+v", s)
+			}
+		case trace.KindMerge:
+			merges++
+			if !strings.Contains(s.Detail, "passes=") {
+				t.Fatalf("merge span detail %q missing pass count", s.Detail)
+			}
+		case trace.KindSort:
+			sorts++
+		case trace.KindCombine:
+			combines++
+		}
+	}
+	if spills == 0 {
+		t.Fatal("no spill spans recorded")
+	}
+	if merges == 0 {
+		t.Fatal("no merge spans recorded")
+	}
+	if sorts != 0 {
+		t.Fatalf("external path emitted %d reducer sort spans", sorts)
+	}
+	if combines != 0 {
+		t.Fatalf("external path emitted %d combine spans (combining happens inside spills)", combines)
+	}
+}
+
+func TestPlanMergeSchedule(t *testing.T) {
+	steps, io, passes := planMerge([]int64{10, 20, 30, 40, 50}, 2)
+	want := []mergeStep{
+		{inputs: []int{0, 1}},
+		{inputs: []int{2, 5}},
+		{inputs: []int{3, 4}},
+		{inputs: []int{6, 7}, final: true},
+	}
+	if !reflect.DeepEqual(steps, want) {
+		t.Fatalf("schedule %+v, want %+v", steps, want)
+	}
+	// Intermediate passes read+write 30, 60 and 90 bytes; the final pass
+	// reads the surviving 60- and 90-byte runs once.
+	if io != 2*30+2*60+2*90+150 {
+		t.Fatalf("ioBytes = %d, want 510", io)
+	}
+	if passes != 4 {
+		t.Fatalf("passes = %d, want 4", passes)
+	}
+
+	// Fan-in wider than the segment count: a single streaming pass, each
+	// segment read once.
+	steps, io, passes = planMerge([]int64{5, 5, 5}, 0)
+	if len(steps) != 1 || !steps[0].final || passes != 1 || io != 15 {
+		t.Fatalf("wide merge: steps %+v io %d passes %d", steps, io, passes)
+	}
+
+	if steps, io, passes = planMerge(nil, 2); steps != nil || io != 0 || passes != 0 {
+		t.Fatalf("empty merge plan: %+v %d %d", steps, io, passes)
+	}
+}
+
+// signature mimics minhash.Signature: a named slice type that the fast
+// type switch in approxValueBytes does not cover, exercising the
+// reflective fallback that replaced the old flat 8-byte guess.
+type signature []uint64
+
+// sizedPayload pins its own serialized size via the Sizer interface.
+type sizedPayload struct{ weight int }
+
+func (p sizedPayload) SizeBytes() int { return p.weight }
+
+// payloadJob emits n records of one struct-typed value per key "k<i>".
+func payloadJob(n int, value any) *Job {
+	recs := make([]KeyValue, n)
+	for i := range recs {
+		recs[i] = KeyValue{Key: fmt.Sprint(i), Value: i}
+	}
+	return &Job{
+		Name:  "payload",
+		Input: MemoryInput{Records: recs, SplitSize: 2},
+		Map: func(kv KeyValue, emit func(KeyValue)) error {
+			emit(KeyValue{Key: "k" + kv.Key, Value: value})
+			return nil
+		},
+		Reduce: func(key string, values []any, emit func(KeyValue)) error {
+			emit(KeyValue{Key: key, Value: len(values)})
+			return nil
+		},
+		NumReducers: 2,
+	}
+}
+
+func TestShuffleBytesScaleWithStructPayload(t *testing.T) {
+	run := func(value any) int64 {
+		t.Helper()
+		res, err := MustEngine(chaosCluster).Run(payloadJob(6, value))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters.Get(CounterShuffleBytes)
+	}
+	small := run(signature(make([]uint64, 4)))
+	large := run(signature(make([]uint64, 400)))
+	if large <= small {
+		t.Fatalf("shuffle bytes ignore payload size: %d-element %d vs 4-element %d", 400, large, small)
+	}
+	if large < 10*small {
+		t.Fatalf("shuffle bytes not proportional to payload: %d vs %d", large, small)
+	}
+	// Struct-wrapped slices go through the same reflective walk.
+	type wrapped struct {
+		ID  int64
+		Sig signature
+	}
+	ws := run(wrapped{ID: 1, Sig: make(signature, 400)})
+	if ws <= small {
+		t.Fatalf("struct-wrapped payload undersized: %d vs %d", ws, small)
+	}
+}
+
+func TestSizerOverridesEstimate(t *testing.T) {
+	res, err := MustEngine(chaosCluster).Run(payloadJob(1, sizedPayload{weight: 4096}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One record, key "k0": shuffle bytes are exactly key + SizeBytes.
+	if got := res.Counters.Get(CounterShuffleBytes); got != int64(len("k0")+4096) {
+		t.Fatalf("shuffle.bytes = %d, want %d", got, len("k0")+4096)
+	}
+	// The Sizer-backed spill buffer must overflow accordingly.
+	job := payloadJob(4, sizedPayload{weight: 4096})
+	job.ShuffleBufferBytes = 8192
+	spilled, err := MustEngine(chaosCluster).Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spilled.Counters.Get(CounterShuffleSpills); got == 0 {
+		t.Fatal("Sizer payloads did not trip the spill threshold")
+	}
+}

@@ -10,6 +10,7 @@ package mapreduce
 
 import (
 	"fmt"
+	"reflect"
 	"time"
 )
 
@@ -29,8 +30,14 @@ type ReduceFunc func(key string, values []any, emit func(KeyValue)) error
 // PartitionFunc routes a key to one of n reduce partitions.
 type PartitionFunc func(key string, n int) int
 
-// DefaultPartition hashes the key (FNV-1a) modulo n.
+// DefaultPartition hashes the key (FNV-1a) modulo n. A degenerate
+// partition count (n <= 0) returns -1 — out of every valid range — so
+// the engine rejects the job with a clean partitioner error instead of
+// the integer-divide panic a bare modulo would hit.
 func DefaultPartition(key string, n int) int {
+	if n <= 0 {
+		return -1
+	}
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -86,13 +93,24 @@ func (m MemoryInput) Splits() ([]InputSplit, error) {
 		}
 		splits = append(splits, InputSplit{Records: chunk, Bytes: b})
 	}
-	if len(splits) == 0 {
-		splits = []InputSplit{{}}
-	}
+	// An empty input yields zero splits (no phantom map task); Run
+	// short-circuits a splitless job to an empty result at zero cost.
 	return splits, nil
 }
 
-// approxValueBytes estimates serialized size for the cost model.
+// Sizer lets a user value type report its serialized size to the shuffle
+// accounting (split sizing, shuffle.bytes, spill-buffer budgeting).
+// Implement it on heavy custom payloads where the reflective estimate is
+// either wrong or too slow for the emit hot path.
+type Sizer interface {
+	SizeBytes() int
+}
+
+// approxValueBytes estimates serialized size for the cost model. Known
+// concrete types are sized directly; a type implementing Sizer reports
+// itself; anything else (named slice types, structs, tuples) is walked
+// reflectively so struct- and slice-valued jobs charge shuffle bytes
+// proportional to their payload instead of a flat constant.
 func approxValueBytes(v any) int {
 	switch x := v.(type) {
 	case nil:
@@ -107,8 +125,84 @@ func approxValueBytes(v any) int {
 		return 8 * len(x)
 	case int, int64, uint64, float64:
 		return 8
-	default:
+	}
+	if s, ok := v.(Sizer); ok {
+		return s.SizeBytes()
+	}
+	return reflectValueBytes(reflect.ValueOf(v), maxSizeDepth)
+}
+
+// maxSizeDepth bounds the reflective size walk: deeply nested (or cyclic,
+// via pointers) values are truncated to a word per unexplored branch.
+const maxSizeDepth = 12
+
+// reflectValueBytes walks rv summing an approximate wire size. It never
+// calls Interface(), so unexported struct fields (common in job payload
+// tuples) are sized like exported ones.
+func reflectValueBytes(rv reflect.Value, depth int) int {
+	if !rv.IsValid() {
+		return 0
+	}
+	if depth <= 0 {
+		return 8
+	}
+	switch rv.Kind() {
+	case reflect.Bool, reflect.Int8, reflect.Uint8:
+		return 1
+	case reflect.Int16, reflect.Uint16:
+		return 2
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		return 4
+	case reflect.Int, reflect.Int64, reflect.Uint, reflect.Uint64,
+		reflect.Uintptr, reflect.Float64, reflect.Complex64:
+		return 8
+	case reflect.Complex128:
 		return 16
+	case reflect.String:
+		return rv.Len()
+	case reflect.Slice, reflect.Array:
+		n := rv.Len()
+		if n == 0 {
+			return 0
+		}
+		// Fixed-size element kinds are sized without visiting each element.
+		switch rv.Type().Elem().Kind() {
+		case reflect.Bool, reflect.Int8, reflect.Uint8:
+			return n
+		case reflect.Int16, reflect.Uint16:
+			return 2 * n
+		case reflect.Int32, reflect.Uint32, reflect.Float32:
+			return 4 * n
+		case reflect.Int, reflect.Int64, reflect.Uint, reflect.Uint64,
+			reflect.Uintptr, reflect.Float64:
+			return 8 * n
+		}
+		total := 0
+		for i := 0; i < n; i++ {
+			total += reflectValueBytes(rv.Index(i), depth-1)
+		}
+		return total
+	case reflect.Map:
+		total := 0
+		iter := rv.MapRange()
+		for iter.Next() {
+			total += reflectValueBytes(iter.Key(), depth-1)
+			total += reflectValueBytes(iter.Value(), depth-1)
+		}
+		return total
+	case reflect.Ptr, reflect.Interface:
+		if rv.IsNil() {
+			return 0
+		}
+		return reflectValueBytes(rv.Elem(), depth-1)
+	case reflect.Struct:
+		total := 0
+		for i := 0; i < rv.NumField(); i++ {
+			total += reflectValueBytes(rv.Field(i), depth-1)
+		}
+		return total
+	default:
+		return 8
 	}
 }
 
@@ -264,4 +358,20 @@ type Job struct {
 	// (1.0 when zero). Heavy UDFs (e.g. all-pairs similarity rows) set >1.
 	MapCostFactor    float64
 	ReduceCostFactor float64
+	// ShuffleBufferBytes caps the map-side sort buffer (Hadoop's
+	// io.sort.mb). 0 — the default — keeps the fully in-memory shuffle:
+	// every map output is materialized and each reduce partition is
+	// sorted whole. A positive cap switches the job to the external
+	// shuffle: map output accumulates in a per-task buffer of
+	// approximately this many bytes, each overflow is sorted, partitioned
+	// and spilled as a segment (running the combiner per spill, as Hadoop
+	// does), and reducers stream a k-way merge over the segments instead
+	// of holding a partition in memory. Output is bit-identical between
+	// the two paths for combiner-less jobs and for jobs whose combiner is
+	// associative and commutative.
+	ShuffleBufferBytes int
+	// MergeFanIn caps how many spill segments one reducer merge pass
+	// reads (Hadoop's io.sort.factor); more segments force intermediate
+	// merge passes, each charged spill I/O. 0 means DefaultMergeFanIn.
+	MergeFanIn int
 }

@@ -113,6 +113,12 @@ type Context struct {
 	Params map[string]string
 	// Seed is available to UDFs needing deterministic randomness.
 	Seed int64
+	// ShuffleBufferBytes caps each map task's sort buffer on every job the
+	// script launches, routing them onto the engine's external
+	// spill-and-merge shuffle (see mapreduce.Job.ShuffleBufferBytes).
+	// 0 keeps the in-memory shuffle; script output is bit-identical
+	// either way.
+	ShuffleBufferBytes int
 	// Checkpoint, when non-nil, journals every STORE's committed bytes
 	// under a "store:<path>" manifest entry.
 	Checkpoint *checkpoint.Journal

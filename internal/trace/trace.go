@@ -38,6 +38,8 @@ const (
 	KindPigOp
 	KindCommit
 	KindAbort
+	KindSpill
+	KindMerge
 )
 
 // String names the kind for exports.
@@ -67,6 +69,10 @@ func (k Kind) String() string {
 		return "commit"
 	case KindAbort:
 		return "abort"
+	case KindSpill:
+		return "spill"
+	case KindMerge:
+		return "merge"
 	default:
 		return "unknown"
 	}

@@ -1,26 +1,29 @@
 #!/usr/bin/env bash
-# Kernel benchmark recorder: runs the similarity / sketch / matrix-build
-# benchmarks of internal/minhash and internal/cluster with allocation
-# stats and writes them as BENCH_kernels.json, so the perf trajectory of
-# the paper's dominant kernels is recorded per commit. CI uploads the
-# file as a workflow artifact; run locally with:
+# Benchmark recorder: runs the kernel benchmarks of internal/minhash and
+# internal/cluster (similarity / sketch / matrix build) plus the shuffle
+# benchmarks of internal/mapreduce (in-memory vs external spill-and-merge,
+# reducer sort before/after, k-way merge) with allocation stats, and
+# writes them as BENCH_kernels.json and BENCH_shuffle.json so the perf
+# trajectory of the hot paths is recorded per commit. CI uploads both
+# files as workflow artifacts; run locally with:
 #
-#   ./scripts/bench_json.sh [output.json]
+#   ./scripts/bench_json.sh [kernels.json [shuffle.json]]
 #
 # BENCHTIME overrides the per-benchmark budget (default 0.5s).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_kernels.json}"
+kernels_out="${1:-BENCH_kernels.json}"
+shuffle_out="${2:-BENCH_shuffle.json}"
 benchtime="${BENCHTIME:-0.5s}"
-
-raw=$(go test -run '^$' -bench 'Similarity|Sketch|BuildMatrix|Greedy1000|Hierarchical500' \
-  -benchmem -benchtime "$benchtime" ./internal/minhash/ ./internal/cluster/)
 
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
-awk -v commit="$commit" -v stamp="$stamp" '
+# to_json converts `go test -bench` output on stdin into the benchmark
+# JSON schema shared by both output files.
+to_json() {
+  awk -v commit="$commit" -v stamp="$stamp" '
 BEGIN {
   printf "{\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", commit, stamp
   first = 1
@@ -43,6 +46,15 @@ BEGIN {
     name, iters, ns, bytes, allocs
 }
 END { print "\n  ]\n}" }
-' <<<"$raw" > "$out"
+'
+}
 
-echo "wrote $out"
+go test -run '^$' -bench 'Similarity|Sketch|BuildMatrix|Greedy1000|Hierarchical500' \
+  -benchmem -benchtime "$benchtime" ./internal/minhash/ ./internal/cluster/ |
+  to_json > "$kernels_out"
+echo "wrote $kernels_out"
+
+go test -run '^$' -bench 'Shuffle|PartitionSort|MergeRuns' \
+  -benchmem -benchtime "$benchtime" ./internal/mapreduce/ |
+  to_json > "$shuffle_out"
+echo "wrote $shuffle_out"
