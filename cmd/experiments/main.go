@@ -22,6 +22,7 @@ import (
 
 	"github.com/metagenomics/mrmcminh/internal/bench"
 	"github.com/metagenomics/mrmcminh/internal/checkpoint"
+	"github.com/metagenomics/mrmcminh/internal/core"
 	"github.com/metagenomics/mrmcminh/internal/faults"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/trace"
@@ -50,6 +51,7 @@ func run() error {
 		faultSeed  = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
 		ckptDir    = flag.String("checkpoint-dir", "", "journal every MrMC run's stages under this directory (per-run subdirectories; enables -resume)")
 		shuffleBuf = flag.Int("shuffle-buffer", 0, "map-side sort buffer bytes for MrMC runs; >0 switches jobs onto the external spill-and-merge shuffle (0 = in-memory)")
+		candidate  = flag.String("candidate", "exact", "candidate-pair generation for MrMC runs: exact (all-pairs) or lsh (banded candidates + log-round connected components)")
 		resume     checkpoint.ResumeFlag
 	)
 	flag.Var(&resume, "resume", "resume interrupted MrMC runs from -checkpoint-dir; 'force' discards all journals first")
@@ -65,6 +67,11 @@ func run() error {
 	cfg.Cluster = mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel}
 	cfg.Trace = rec
 	cfg.ShuffleBufferBytes = *shuffleBuf
+	cand, err := core.ParseCandidateGen(*candidate)
+	if err != nil {
+		return err
+	}
+	cfg.Candidate = cand
 	if *faultSpec != "" {
 		plan, err := faults.ParsePlan(*faultSpec, *faultSeed)
 		if err != nil {

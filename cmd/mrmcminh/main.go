@@ -49,6 +49,8 @@ func run() error {
 		nodes        = flag.Int("nodes", 8, "simulated cluster nodes")
 		canonical    = flag.Bool("canonical", false, "fold reverse-complement k-mers (shotgun reads)")
 		useLSH       = flag.Bool("lsh", false, "accelerate greedy mode with an LSH candidate index")
+		candidate    = flag.String("candidate", "exact", "candidate-pair generation: exact (all-pairs) or lsh (banded candidates + log-round connected components)")
+		bucketCap    = flag.Int("lsh-bucket-cap", 0, "max reads per LSH bucket expanded into candidate pairs (0 = default cap; -candidate=lsh only)")
 		seed         = flag.Int64("seed", 1, "hash seed")
 		labels       = flag.String("labels", "", "optional ground-truth TSV (readID<TAB>class) for W.Acc")
 		levels       = flag.String("levels", "", "comma-separated extra thresholds for multi-level output (hierarchical mode)")
@@ -107,6 +109,12 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+	cand, err := mrmcminh.ParseCandidateGen(*candidate)
+	if err != nil {
+		return err
+	}
+	opt.Candidate = cand
+	opt.LSHBucketCap = *bucketCap
 	switch *link {
 	case "single":
 		opt.Linkage = mrmcminh.SingleLinkage

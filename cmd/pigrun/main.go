@@ -83,6 +83,7 @@ func run() error {
 		faultSeed  = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
 		ckptDir    = flag.String("checkpoint-dir", "", "journal each STORE's committed bytes under this directory (enables -resume)")
 		shuffleBuf = flag.Int("shuffle-buffer", 0, "map-side sort buffer bytes; >0 switches the script's jobs onto the external spill-and-merge shuffle (0 = in-memory)")
+		candidate  = flag.String("candidate", "exact", "candidate-pair generation for -algorithm3: exact (all-pairs) or lsh (banded candidates + log-round connected components)")
 		resume     checkpoint.ResumeFlag
 	)
 	flag.Var(params, "p", "script parameter NAME=VALUE (repeatable)")
@@ -176,6 +177,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		p.Candidate = *candidate
 		so := core.ScriptOptions{Trace: rec, Faults: injector, Checkpoint: journal, Resume: resume.On, ShuffleBufferBytes: *shuffleBuf}
 		res, err := core.RunScriptOpts(fs, mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel}, p, *seed, so)
 		if err != nil {

@@ -54,6 +54,10 @@ type Config struct {
 	// run's jobs (see mapreduce.Job.ShuffleBufferBytes); 0 keeps the
 	// in-memory shuffle. Results are unchanged either way.
 	ShuffleBufferBytes int
+	// Candidate selects the candidate-pair generator for every MrMC-MinH
+	// run: the exact all-pairs path (default) or the sub-quadratic
+	// LSH+connected-components path (see core.CandidateLSH).
+	Candidate core.CandidateGen
 	// CheckpointStore, when non-nil, journals every MrMC-MinH run's
 	// stages under a per-run content-addressed directory (run name plus
 	// input hash), so an interrupted experiment sweep can resume.
@@ -131,6 +135,7 @@ func runMrMC(name string, reads []fasta.Record, truth []string, opt core.Options
 	opt.Trace = cfg.Trace
 	opt.Faults = cfg.Faults
 	opt.ShuffleBufferBytes = cfg.ShuffleBufferBytes
+	opt.Candidate = cfg.Candidate
 	if cfg.CheckpointStore != nil {
 		dir := "/" + slug(name) + "-" + core.HashReads(reads)[:12]
 		journal, err := checkpoint.Open(cfg.CheckpointStore, dir)

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/metagenomics/mrmcminh/internal/minhash"
+)
+
+// collisionMidpoint finds the similarity s at which the banding's collision
+// probability crosses 1/2 — the empirical S-curve threshold — by bisection
+// (CollisionProbability is strictly increasing in s for s in (0,1)).
+func collisionMidpoint(bands, rows int) float64 {
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if minhash.CollisionProbability(mid, bands, rows) < 0.5 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TestGeometryForKneeProperty sweeps signature lengths and thresholds and
+// checks the contract of GeometryFor: the returned banding fits the
+// signature, its analytic knee (1/b)^(1/r) sits at or above θ, and the row
+// count is minimal (one fewer row per band would undershoot θ). It also
+// cross-validates the closed-form knee against the actual S-curve midpoint
+// of CollisionProbability, which must agree within a small tolerance.
+func TestGeometryForKneeProperty(t *testing.T) {
+	ns := []int{8, 16, 24, 32, 50, 64, 100, 128, 200, 256, 512}
+	thetas := []float64{0.5, 0.7, 0.9}
+	for _, n := range ns {
+		for _, theta := range thetas {
+			g := GeometryFor(n, theta)
+			if err := g.Validate(n); err != nil {
+				t.Errorf("GeometryFor(%d, %.1f) = %+v invalid: %v", n, theta, g, err)
+				continue
+			}
+			knee := kneeOf(g.Bands, g.Rows)
+			if knee < theta {
+				t.Errorf("GeometryFor(%d, %.1f) = %+v knee %.3f < θ", n, theta, g, knee)
+			}
+			// Minimality: the geometry one row shallower must undershoot θ
+			// (otherwise GeometryFor would have stopped there).
+			if g.Rows > 1 {
+				prev := kneeOf(n/(g.Rows-1), g.Rows-1)
+				if prev >= theta {
+					t.Errorf("GeometryFor(%d, %.1f) = %+v not minimal: rows-1 knee %.3f ≥ θ",
+						n, theta, g, prev)
+				}
+			}
+			// The closed-form knee approximates where the real S-curve
+			// crosses 1/2. The approximation drops the (1-1/e) correction,
+			// so allow a loose but bounded tolerance.
+			mid := collisionMidpoint(g.Bands, g.Rows)
+			if d := knee - mid; d < -0.15 || d > 0.15 {
+				t.Errorf("GeometryFor(%d, %.1f) = %+v: knee %.3f vs S-curve midpoint %.3f",
+					n, theta, g, knee, mid)
+			}
+		}
+	}
+}
+
+// TestGeometryForMoreRowsSharperCurve checks the qualitative LSH property
+// the pipeline relies on: at a fixed signature budget, the geometry chosen
+// for a higher θ yields a lower collision probability for dissimilar pairs
+// (fewer junk candidates) while the verify threshold keeps precision.
+func TestGeometryForMoreRowsSharperCurve(t *testing.T) {
+	loose := GeometryFor(100, 0.5)
+	tight := GeometryFor(100, 0.9)
+	if tight.Rows <= loose.Rows {
+		t.Fatalf("θ=0.9 geometry %+v not deeper than θ=0.5 %+v", tight, loose)
+	}
+	// A pair at similarity 0.3 should almost never collide under the tight
+	// geometry but frequently under the loose one.
+	pLoose := minhash.CollisionProbability(0.3, loose.Bands, loose.Rows)
+	pTight := minhash.CollisionProbability(0.3, tight.Bands, tight.Rows)
+	if pTight >= pLoose {
+		t.Fatalf("P(collide|s=0.3): tight %.4f ≥ loose %.4f", pTight, pLoose)
+	}
+	if pTight > 0.01 {
+		t.Fatalf("tight geometry %+v admits s=0.3 pairs with P=%.4f", tight, pTight)
+	}
+}
+
+// TestCollisionProbabilityMonotone checks that the S-curve is monotone in s
+// and pinned at the endpoints for a spread of geometries.
+func TestCollisionProbabilityMonotone(t *testing.T) {
+	geos := []LSHOptions{{Bands: 1, Rows: 1}, {Bands: 20, Rows: 5}, {Bands: 5, Rows: 17}, {Bands: 64, Rows: 2}}
+	for _, g := range geos {
+		if p := minhash.CollisionProbability(0, g.Bands, g.Rows); p != 0 {
+			t.Errorf("%+v: P(collide|s=0) = %v", g, p)
+		}
+		if p := minhash.CollisionProbability(1, g.Bands, g.Rows); p != 1 {
+			t.Errorf("%+v: P(collide|s=1) = %v", g, p)
+		}
+		prev := -1.0
+		for s := 0.0; s <= 1.0001; s += 0.05 {
+			p := minhash.CollisionProbability(s, g.Bands, g.Rows)
+			if p < prev-1e-12 {
+				t.Fatalf("%+v: P not monotone at s=%.2f (%.6f < %.6f)", g, s, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+// TestGeometryForEdgeCases pins the degenerate inputs: signatures too short
+// to band fall back to a single 1×1 band, and Validate rejects geometries
+// deeper than the signature.
+func TestGeometryForEdgeCases(t *testing.T) {
+	for _, n := range []int{-3, 0, 1} {
+		if g := GeometryFor(n, 0.9); g != (LSHOptions{Bands: 1, Rows: 1}) {
+			t.Errorf("GeometryFor(%d, 0.9) = %+v, want 1×1", n, g)
+		}
+	}
+	// θ=1 forces the deepest banding: a single band using every row, whose
+	// knee (1/1)^(1/r) = 1 is the only way to reach the threshold.
+	g := GeometryFor(10, 1)
+	if g.Bands != 1 {
+		t.Errorf("GeometryFor(10, 1) = %+v, want a single band", g)
+	}
+	if err := g.Validate(10); err != nil {
+		t.Errorf("GeometryFor(10, 1) = %+v invalid: %v", g, err)
+	}
+	// rows > n can never validate, whatever the bands.
+	if err := (LSHOptions{Bands: 1, Rows: 11}).Validate(10); err == nil {
+		t.Error("rows > signature length accepted")
+	}
+	// θ=0 is satisfied immediately: a single row per band maximizes recall.
+	if g := GeometryFor(100, 0); g.Rows != 1 {
+		t.Errorf("GeometryFor(100, 0) = %+v, want rows=1", g)
+	}
+}

@@ -86,11 +86,13 @@ func GreedyLSH(sigs []minhash.Signature, opt GreedyOptions, lsh LSHOptions) (met
 	}
 	repLabel := map[int]int{}
 	var repOrig []int // band-index id -> original signature index
+	var candBuf []int // reused across queries (CandidatesInto)
 	next := 0
 	for i, sig := range sigs {
 		placed := false
 		if !sig.Empty() {
-			for _, cand := range idx.Candidates(sig) {
+			candBuf = idx.CandidatesInto(sig, candBuf[:0])
+			for _, cand := range candBuf {
 				if opt.Estimator.SimilarityPrepared(prep[i], prep[repOrig[cand]]) >= opt.Threshold {
 					assign[i] = repLabel[cand]
 					placed = true

@@ -142,6 +142,37 @@ func decodeLabels(data []byte) (metrics.Clustering, error) {
 	return labels, nil
 }
 
+// encodeEdges renders verified candidate edges as little-endian int64
+// pairs: count, then per edge U and V.
+func encodeEdges(edges []cluster.Edge) []byte {
+	out := make([]byte, 0, 8+16*len(edges))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(edges)))
+	for _, e := range edges {
+		out = binary.LittleEndian.AppendUint64(out, uint64(int64(e.U)))
+		out = binary.LittleEndian.AppendUint64(out, uint64(int64(e.V)))
+	}
+	return out
+}
+
+// decodeEdges inverts encodeEdges.
+func decodeEdges(data []byte) ([]cluster.Edge, error) {
+	n, data, err := readU64(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != 16*int(n) {
+		return nil, fmt.Errorf("core: edge payload is %d bytes, want %d", len(data), 16*n)
+	}
+	edges := make([]cluster.Edge, n)
+	for i := range edges {
+		var u, v uint64
+		u, data, _ = readU64(data)
+		v, data, _ = readU64(data)
+		edges[i] = cluster.Edge{U: int(int64(u)), V: int(int64(v))}
+	}
+	return edges, nil
+}
+
 // readU64 pops one little-endian uint64 off data.
 func readU64(data []byte) (uint64, []byte, error) {
 	if len(data) < 8 {

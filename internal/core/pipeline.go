@@ -39,6 +39,53 @@ func (m Mode) String() string {
 	}
 }
 
+// CandidateGen selects how the pipeline discovers candidate read pairs.
+type CandidateGen int
+
+const (
+	// CandidateExact is the paper's all-pairs path: every pair is compared
+	// (O(N²)), either inside the single greedy reducer or in the
+	// row-partitioned similarity matrix.
+	CandidateExact CandidateGen = iota
+	// CandidateLSH replaces the all-pairs barrier with a banded MinHash
+	// candidate-generation MapReduce stage followed by logarithmic-round
+	// connected components: only bucket-colliding pairs are verified with
+	// SimilarityPrepared, surviving edges feed Large-Star/Small-Star
+	// component finding, and the exact clustering algorithm runs per
+	// component. Sub-quadratic in the number of reads; equivalent to the
+	// exact path whenever every ≥θ pair collides in some band.
+	CandidateLSH
+)
+
+// String names the candidate generator as the CLIs spell it.
+func (c CandidateGen) String() string {
+	switch c {
+	case CandidateExact:
+		return "exact"
+	case CandidateLSH:
+		return "lsh"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseCandidateGen maps the -candidate flag values.
+func ParseCandidateGen(s string) (CandidateGen, error) {
+	switch s {
+	case "", "exact":
+		return CandidateExact, nil
+	case "lsh":
+		return CandidateLSH, nil
+	default:
+		return 0, fmt.Errorf("core: unknown candidate generator %q (want exact or lsh)", s)
+	}
+}
+
+// DefaultLSHBucketCap bounds how many reads a single LSH bucket may expand
+// into pairs: a degenerate bucket of size B would otherwise emit B(B-1)/2
+// candidates and re-quadratize the run.
+const DefaultLSHBucketCap = 256
+
 // Options parameterizes an MrMC-MinH run. Zero values select the paper's
 // whole-metagenome defaults (k=5, n=100, θ=0.9, average linkage).
 type Options struct {
@@ -64,6 +111,20 @@ type Options struct {
 	// recall loss is possible for borderline pairs. Ignored in
 	// HierarchicalMode.
 	UseLSH bool
+	// Candidate selects candidate-pair discovery: CandidateExact (default,
+	// the paper's all-pairs path and the equivalence oracle) or
+	// CandidateLSH (banded candidate generation + connected components;
+	// see ClusterLSHCC). Applies to both modes.
+	Candidate CandidateGen
+	// LSH sizes the banding geometry of the CandidateLSH stage. The zero
+	// value derives it with cluster.GeometryFor(NumHashes, Theta) so the
+	// collision S-curve knee sits at the clustering threshold.
+	LSH cluster.LSHOptions
+	// LSHBucketCap caps how many reads of one LSH bucket expand into
+	// candidate pairs (0 = DefaultLSHBucketCap). Overflowing reads are
+	// dropped from that bucket (counted in lsh.bucket_overflow) — they
+	// stay reachable through their other bands.
+	LSHBucketCap int
 	// Seed drives hash-function draws.
 	Seed int64
 	// Cluster is the simulated deployment; zero uses the paper's 8 nodes.
@@ -145,6 +206,24 @@ func (o Options) Validate() error {
 	if o.Mode != GreedyMode && o.Mode != HierarchicalMode {
 		return fmt.Errorf("core: invalid mode %d", o.Mode)
 	}
+	if o.Candidate != CandidateExact && o.Candidate != CandidateLSH {
+		return fmt.Errorf("core: invalid candidate generator %d", o.Candidate)
+	}
+	if o.Candidate == CandidateLSH {
+		if o.Theta <= 0 {
+			return fmt.Errorf("core: LSH candidate generation needs θ > 0 (got %v)", o.Theta)
+		}
+		lsh := o.LSH
+		if lsh == (cluster.LSHOptions{}) {
+			lsh = cluster.GeometryFor(o.NumHashes, o.Theta)
+		}
+		if err := lsh.Validate(o.NumHashes); err != nil {
+			return err
+		}
+		if o.LSHBucketCap < 0 {
+			return fmt.Errorf("core: LSH bucket cap must be ≥ 0, got %d", o.LSHBucketCap)
+		}
+	}
 	return o.Cluster.Validate()
 }
 
@@ -179,6 +258,10 @@ const (
 	StageGreedy     = "greedy"
 	StageSimilarity = "similarity"
 	StageCluster    = "cluster"
+	// LSH-path stages (Candidate == CandidateLSH).
+	StageLSHEdges   = "lsh-edges"
+	StageCC         = "components"
+	StageLSHCluster = "lsh-cluster"
 )
 
 // ckptRunner threads the checkpoint journal and driver-crash fault
@@ -333,6 +416,15 @@ func Run(reads []fasta.Record, opt Options) (*Result, error) {
 	var sigsHash string
 	if opt.Checkpoint != nil {
 		sigsHash = checkpoint.HashBytes(sigBytes)
+	}
+
+	if opt.Candidate == CandidateLSH {
+		if err := clusterLSHCC(engine, sigs, sigsHash, opt, res, ck, addJob); err != nil {
+			return nil, err
+		}
+		res.SkippedStages = ck.skipped
+		res.Real = time.Since(start)
+		return res, nil
 	}
 
 	switch opt.Mode {

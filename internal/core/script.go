@@ -35,6 +35,25 @@ STORE K INTO '$OUTPUT1';
 STORE L INTO '$OUTPUT2';
 `
 
+// Algorithm3LSHScript is Algorithm 3 with the O(N²) similarity barrier
+// removed: relation J (the all-pairs matrix) is gone, and both clustering
+// branches call the LSHClustering UDF, which generates candidate pairs
+// from banded MinHash buckets, verifies them at $CUTOFF and clusters each
+// connected component with the exact algorithm. Selected by the CLIs'
+// -candidate=lsh flag.
+const Algorithm3LSHScript = `
+A = LOAD '$INPUT' USING FastaStorage AS (readid:chararray, d:int, seq:bytearray, header:chararray);
+B = FOREACH A GENERATE FLATTEN(StringGenerator(seq, readid)) AS (seq:chararray, seqid:chararray);
+C = FOREACH B GENERATE FLATTEN(TranslateToKmer(seq, seqid, $KMER)) AS (seqkmer:long, seqid2:chararray);
+E = FOREACH C GENERATE FLATTEN(CalculateMinwiseHash(seqkmer, seqid2, $NUMHASH, $DIV)) AS (minwise:long, seqid3:chararray);
+F = FOREACH E GENERATE FLATTEN(minwise), FLATTEN(seqid3);
+I = GROUP F ALL;
+K = FOREACH I GENERATE FLATTEN(LSHClustering(F, $NUMHASH, $CUTOFF, 'hierarchical', $LINK)) AS (seqid4:chararray, clusterlabel:int);
+L = FOREACH I GENERATE FLATTEN(LSHClustering(F, $NUMHASH, $CUTOFF, 'greedy', $LINK)) AS (seqid5:chararray, clusterlabel:int);
+STORE K INTO '$OUTPUT1';
+STORE L INTO '$OUTPUT2';
+`
+
 // ScriptParams binds the Algorithm 3 parameter holes.
 type ScriptParams struct {
 	Input   string // DFS path of the FASTA input
@@ -45,6 +64,10 @@ type ScriptParams struct {
 	Div     uint64 // $DIV: prime > feature-space size; 0 derives 4^k+granularity
 	Link    string // $LINK: single | average | complete
 	Cutoff  float64
+	// Candidate selects the script variant: "" or "exact" runs the
+	// paper's Algorithm3Script (all-pairs matrix); "lsh" runs
+	// Algorithm3LSHScript (banded candidate generation, no matrix).
+	Candidate string
 }
 
 // ScriptResult holds both clustering outputs of the Algorithm 3 run.
@@ -152,7 +175,15 @@ func RunScriptOpts(fs *dfs.FileSystem, clusterCfg mapreduce.Cluster, p ScriptPar
 			"CUTOFF":  fmt.Sprint(p.Cutoff),
 		},
 	}
-	script, err := pig.Compile(Algorithm3Script)
+	source := Algorithm3Script
+	switch p.Candidate {
+	case "", "exact":
+	case "lsh":
+		source = Algorithm3LSHScript
+	default:
+		return nil, fmt.Errorf("core: unknown script candidate generator %q (want exact or lsh)", p.Candidate)
+	}
+	script, err := pig.Compile(source)
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@ import (
 	"github.com/metagenomics/mrmcminh/internal/cluster"
 	"github.com/metagenomics/mrmcminh/internal/fasta"
 	"github.com/metagenomics/mrmcminh/internal/kmer"
+	"github.com/metagenomics/mrmcminh/internal/metrics"
 	"github.com/metagenomics/mrmcminh/internal/minhash"
 	"github.com/metagenomics/mrmcminh/internal/pig"
 )
@@ -88,6 +89,15 @@ func RegisterUDFs(reg *pig.Registry) {
 		GroupKeyArg: -1,
 		Eval:        greedyClusteringUDF,
 		CostFactor:  40,
+	})
+	reg.MustRegister(pig.UDF{
+		Name:        "LSHClustering",
+		GroupKeyArg: -1,
+		Eval:        lshClusteringUDF,
+		// Sub-quadratic: banded candidate generation replaces the
+		// all-pairs scan, so the modelled per-record cost sits near the
+		// greedy UDF's, far below CostFactorSimilarityRow.
+		CostFactor: 40,
 	})
 }
 
@@ -398,6 +408,148 @@ func greedyClusteringUDF(_ *pig.Context, args []pig.Value) (pig.Value, error) {
 		out[i] = pig.NewTuple(ids[i], int64(labels[i]))
 	}
 	return out, nil
+}
+
+// lshClusteringUDF is the sub-quadratic replacement for Algorithm 3's
+// all-pairs branch: LSHClustering(bag, numhash, cutoff, mode, link) over
+// the grouped (signature, seqid) bag. Candidate pairs come from a banded
+// MinHash index (GeometryFor(numhash, cutoff)), are verified at the cutoff
+// with the zero-alloc kernel, joined into connected components with
+// union-find, and the exact algorithm selected by mode ('greedy' or
+// 'hierarchical' with the link policy) runs per component. Labels are
+// renumbered by first appearance in bag order, reproducing the exact UDFs'
+// label sequence whenever every ≥cutoff pair band-collides.
+func lshClusteringUDF(_ *pig.Context, args []pig.Value) (pig.Value, error) {
+	if len(args) != 5 {
+		return nil, fmt.Errorf("LSHClustering expects (bag, numhash, cutoff, mode, link), got %d args", len(args))
+	}
+	bag, ok := args[0].(pig.Bag)
+	if !ok {
+		return nil, fmt.Errorf("LSHClustering: first arg is %T, want bag", args[0])
+	}
+	numhash, err := pig.AsInt(args[1])
+	if err != nil {
+		return nil, err
+	}
+	cutoff, err := pig.AsFloat(args[2])
+	if err != nil {
+		return nil, err
+	}
+	mode, err := pig.AsString(args[3])
+	if err != nil {
+		return nil, err
+	}
+	linkName, err := pig.AsString(args[4])
+	if err != nil {
+		return nil, err
+	}
+	if cutoff <= 0 {
+		return nil, fmt.Errorf("LSHClustering: cutoff must be > 0, got %v", cutoff)
+	}
+	sigs := make([]minhash.Signature, len(bag))
+	ids := make([]string, len(bag))
+	for i, tup := range bag {
+		sig, ok := tup.Fields[0].(minhash.Signature)
+		if !ok {
+			return nil, fmt.Errorf("LSHClustering: bag tuple field is %T", tup.Fields[0])
+		}
+		sigs[i] = sig
+		id, err := pig.AsString(tup.Fields[1])
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	comps, err := lshComponents(sigs, numhash, cutoff)
+	if err != nil {
+		return nil, err
+	}
+	members := make(map[int][]int)
+	for i, c := range comps {
+		members[c] = append(members[c], i) // ascending by construction
+	}
+	est := minhash.SetOverlap
+	local := make([]int, len(sigs))
+	for _, idxs := range members {
+		var labels metrics.Clustering
+		if len(idxs) == 1 {
+			labels = metrics.Clustering{0}
+		} else {
+			sub := make([]minhash.Signature, len(idxs))
+			for i, m := range idxs {
+				sub[i] = sigs[m]
+			}
+			var err error
+			switch mode {
+			case "greedy":
+				labels, err = cluster.Greedy(sub, cluster.GreedyOptions{Threshold: cutoff, Estimator: est})
+			case "hierarchical":
+				link, lerr := cluster.ParseLinkage(linkName)
+				if lerr != nil {
+					return nil, lerr
+				}
+				labels, err = cluster.HierarchicalFromSignatures(sub, est, link, cutoff)
+			default:
+				return nil, fmt.Errorf("LSHClustering: unknown mode %q (want greedy or hierarchical)", mode)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i, m := range idxs {
+			local[m] = labels[i]
+		}
+	}
+	type clusterID struct{ comp, local int }
+	global := make(map[clusterID]int)
+	next := 0
+	out := make(pig.Bag, len(bag))
+	for i := range bag {
+		id := clusterID{comp: comps[i], local: local[i]}
+		g, ok := global[id]
+		if !ok {
+			g = next
+			global[id] = g
+			next++
+		}
+		out[i] = pig.NewTuple(ids[i], int64(g))
+	}
+	return out, nil
+}
+
+// lshComponents finds the connected components of the verified θ-edge
+// graph with an in-process banded index and union-find (the UDF-local
+// analogue of the pipeline's bands/verify/CC MapReduce stages).
+func lshComponents(sigs []minhash.Signature, numhash int, cutoff float64) ([]int, error) {
+	geo := cluster.GeometryFor(numhash, cutoff)
+	idx, err := minhash.NewBandIndex(geo.Bands, geo.Rows)
+	if err != nil {
+		return nil, err
+	}
+	prep := minhash.PrepareAll(sigs)
+	var edges []cluster.Edge
+	var candBuf []int
+	var added []int // band-index id -> read index (empty sigs stay out)
+	for i, sig := range sigs {
+		if sig.Empty() {
+			continue // no features: singleton component, like the exact path
+		}
+		if err := geo.Validate(len(sig)); err != nil {
+			return nil, err
+		}
+		candBuf = idx.CandidatesInto(sig, candBuf[:0])
+		for _, cand := range candBuf {
+			j := added[cand]
+			if minhash.SetOverlap.SimilarityPrepared(prep[j], prep[i]) >= cutoff {
+				edges = append(edges, cluster.Edge{U: j, V: i})
+			}
+		}
+		if _, err := idx.Add(sig); err != nil {
+			return nil, err
+		}
+		added = append(added, i)
+	}
+	return cluster.ConnectedComponents(len(sigs), edges)
 }
 
 // sortTuplesByFirstField orders a bag by its first field's formatted value

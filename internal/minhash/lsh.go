@@ -1,9 +1,6 @@
 package minhash
 
-import (
-	"fmt"
-	"hash/fnv"
-)
+import "fmt"
 
 // BandIndex is a locality-sensitive-hashing index over minwise signatures,
 // the data structure behind the authors' earlier MC-LSH algorithm: the
@@ -16,6 +13,11 @@ type BandIndex struct {
 	Rows    int
 	buckets []map[uint64][]int // per band: band-hash -> signature ids
 	sigs    []Signature
+	// marks/gen implement allocation-free candidate dedup: marks[id]
+	// holds the generation of the last query that saw id, so a query
+	// only needs one counter bump instead of a fresh set.
+	marks []uint32
+	gen   uint32
 }
 
 // NewBandIndex creates an index for signatures of length bands*rows.
@@ -40,8 +42,9 @@ func (ix *BandIndex) Add(sig Signature) (int, error) {
 	}
 	id := len(ix.sigs)
 	ix.sigs = append(ix.sigs, sig)
+	ix.marks = append(ix.marks, 0)
 	for b := 0; b < ix.Bands; b++ {
-		h := ix.bandHash(sig, b)
+		h := BandHash(sig, b, ix.Rows)
 		ix.buckets[b][h] = append(ix.buckets[b][h], id)
 	}
 	return id, nil
@@ -50,18 +53,33 @@ func (ix *BandIndex) Add(sig Signature) (int, error) {
 // Candidates returns the distinct ids of previously added signatures that
 // share at least one band with sig (excluding none; callers filter self).
 func (ix *BandIndex) Candidates(sig Signature) []int {
-	seen := make(map[int]struct{})
-	var out []int
+	return ix.CandidatesInto(sig, nil)
+}
+
+// CandidatesInto appends the distinct candidate ids for sig to buf
+// (usually buf[:0] of a reused slice) and returns the extended slice. The
+// result order is identical to Candidates — first encounter across bands
+// — but the dedup set is a generation-stamped array owned by the index,
+// so a hot caller like GreedyLSH performs zero allocations per query once
+// buf has grown to its working size.
+func (ix *BandIndex) CandidatesInto(sig Signature, buf []int) []int {
+	ix.gen++
+	if ix.gen == 0 { // generation counter wrapped: invalidate stale marks
+		for i := range ix.marks {
+			ix.marks[i] = 0
+		}
+		ix.gen = 1
+	}
 	for b := 0; b < ix.Bands; b++ {
-		h := ix.bandHash(sig, b)
+		h := BandHash(sig, b, ix.Rows)
 		for _, id := range ix.buckets[b][h] {
-			if _, dup := seen[id]; !dup {
-				seen[id] = struct{}{}
-				out = append(out, id)
+			if ix.marks[id] != ix.gen {
+				ix.marks[id] = ix.gen
+				buf = append(buf, id)
 			}
 		}
 	}
-	return out
+	return buf
 }
 
 // Signature returns the stored signature for id.
@@ -70,18 +88,32 @@ func (ix *BandIndex) Signature(id int) Signature { return ix.sigs[id] }
 // Len returns the number of indexed signatures.
 func (ix *BandIndex) Len() int { return len(ix.sigs) }
 
-// bandHash hashes rows [b*r, (b+1)*r) of sig.
-func (ix *BandIndex) bandHash(sig Signature, b int) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	for r := 0; r < ix.Rows; r++ {
-		v := sig[b*ix.Rows+r]
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
+// FNV-1a parameters (hash/fnv's 64-bit variant).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// BandHash hashes rows [band*rows, (band+1)*rows) of sig with FNV-1a over
+// the little-endian bytes of each row value — bit-compatible with feeding
+// the same bytes through hash/fnv, but inlined so hashing a band performs
+// zero allocations (the hasher + 8-byte buffer the stdlib path allocated
+// per band per signature). This is both BandIndex's bucket hash and the
+// map-side bucket key of the LSH candidate-generation MapReduce stage.
+func BandHash(sig Signature, band, rows int) uint64 {
+	h := uint64(fnvOffset64)
+	for r := band * rows; r < band*rows+rows; r++ {
+		v := sig[r]
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		h = (h ^ (v >> 8 & 0xff)) * fnvPrime64
+		h = (h ^ (v >> 16 & 0xff)) * fnvPrime64
+		h = (h ^ (v >> 24 & 0xff)) * fnvPrime64
+		h = (h ^ (v >> 32 & 0xff)) * fnvPrime64
+		h = (h ^ (v >> 40 & 0xff)) * fnvPrime64
+		h = (h ^ (v >> 48 & 0xff)) * fnvPrime64
+		h = (h ^ (v >> 56)) * fnvPrime64
 	}
-	return h.Sum64()
+	return h
 }
 
 // CollisionProbability returns the analytic probability that a pair with

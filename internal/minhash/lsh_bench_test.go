@@ -1,0 +1,172 @@
+package minhash
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+)
+
+// bandHashLegacy is the pre-optimization band hash: a fresh fnv.New64a
+// hasher plus an 8-byte scratch buffer per band per signature. Kept as
+// the before/after reference for BenchmarkBandHash and the
+// bit-compatibility test below.
+func bandHashLegacy(sig Signature, band, rows int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for r := 0; r < rows; r++ {
+		v := sig[band*rows+r]
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// candidatesLegacy is the pre-optimization query: a fresh map and result
+// slice per call. Kept as the before/after reference for
+// BenchmarkCandidates.
+func candidatesLegacy(ix *BandIndex, sig Signature) []int {
+	seen := make(map[int]struct{})
+	var out []int
+	for b := 0; b < ix.Bands; b++ {
+		h := BandHash(sig, b, ix.Rows)
+		for _, id := range ix.buckets[b][h] {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+func randomSignatures(n, sigLen int, seed int64) []Signature {
+	rng := rand.New(rand.NewSource(seed))
+	sigs := make([]Signature, n)
+	for i := range sigs {
+		s := make(Signature, sigLen)
+		base := rng.Uint64() % 32 // force bucket collisions
+		for j := range s {
+			s[j] = base*1000 + uint64(rng.Intn(4))
+		}
+		sigs[i] = s
+	}
+	return sigs
+}
+
+func TestBandHashMatchesFNV(t *testing.T) {
+	for _, sig := range randomSignatures(50, 96, 7) {
+		for _, rows := range []int{1, 2, 3, 8} {
+			for b := 0; b < len(sig)/rows; b++ {
+				got := BandHash(sig, b, rows)
+				want := bandHashLegacy(sig, b, rows)
+				if got != want {
+					t.Fatalf("BandHash(band=%d rows=%d) = %x, legacy fnv = %x", b, rows, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCandidatesIntoMatchesCandidates(t *testing.T) {
+	ix, err := NewBandIndex(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := randomSignatures(200, 64, 11)
+	for _, s := range sigs {
+		if _, err := ix.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf []int
+	for i, s := range sigs {
+		want := candidatesLegacy(ix, s)
+		buf = ix.CandidatesInto(s, buf[:0])
+		if len(buf) != len(want) {
+			t.Fatalf("sig %d: CandidatesInto found %d candidates, legacy %d", i, len(buf), len(want))
+		}
+		for j := range buf {
+			if buf[j] != want[j] {
+				t.Fatalf("sig %d: candidate order diverges at %d: %d vs %d", i, j, buf[j], want[j])
+			}
+		}
+	}
+}
+
+func TestCandidatesIntoGenerationWrap(t *testing.T) {
+	ix, err := NewBandIndex(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := Signature{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := ix.Add(sig); err != nil {
+		t.Fatal(err)
+	}
+	ix.gen = ^uint32(0) - 1 // force the counter through zero
+	for i := 0; i < 4; i++ {
+		got := ix.CandidatesInto(sig, nil)
+		if len(got) != 1 || got[0] != 0 {
+			t.Fatalf("query %d after wrap: got %v, want [0]", i, got)
+		}
+	}
+}
+
+func BenchmarkBandHashLegacy(b *testing.B) {
+	sig := randomSignatures(1, 100, 3)[0]
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for band := 0; band < 20; band++ {
+			sink += bandHashLegacy(sig, band, 5)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkBandHash(b *testing.B) {
+	sig := randomSignatures(1, 100, 3)[0]
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for band := 0; band < 20; band++ {
+			sink += BandHash(sig, band, 5)
+		}
+	}
+	_ = sink
+}
+
+func benchIndex(b *testing.B) (*BandIndex, []Signature) {
+	b.Helper()
+	ix, err := NewBandIndex(16, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sigs := randomSignatures(1000, 64, 5)
+	for _, s := range sigs {
+		if _, err := ix.Add(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ix, sigs
+}
+
+func BenchmarkCandidatesLegacy(b *testing.B) {
+	ix, sigs := benchIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = candidatesLegacy(ix, sigs[i%len(sigs)])
+	}
+}
+
+func BenchmarkCandidatesInto(b *testing.B) {
+	ix, sigs := benchIndex(b)
+	var buf []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ix.CandidatesInto(sigs[i%len(sigs)], buf[:0])
+	}
+}

@@ -46,6 +46,27 @@ const (
 	Hierarchical = core.HierarchicalMode
 )
 
+// CandidateGen selects how candidate read pairs are discovered: the exact
+// all-pairs path or the sub-quadratic LSH+connected-components path.
+type CandidateGen = core.CandidateGen
+
+// Candidate generators for Options.Candidate.
+const (
+	// CandidateExact is the paper's O(N²) all-pairs path (the default and
+	// the equivalence oracle for CandidateLSH).
+	CandidateExact = core.CandidateExact
+	// CandidateLSH generates candidate pairs with banded MinHash buckets,
+	// verifies them at θ, finds connected components in logarithmic
+	// MapReduce rounds, and runs the exact algorithm per component.
+	CandidateLSH = core.CandidateLSH
+)
+
+// ParseCandidateGen maps the CLIs' -candidate flag values ("", "exact",
+// "lsh") onto CandidateGen values.
+func ParseCandidateGen(s string) (CandidateGen, error) {
+	return core.ParseCandidateGen(s)
+}
+
 // Linkage selects the hierarchical merge rule.
 type Linkage = cluster.Linkage
 

@@ -3,18 +3,25 @@
 # internal/cluster (similarity / sketch / matrix build) plus the shuffle
 # benchmarks of internal/mapreduce (in-memory vs external spill-and-merge,
 # reducer sort before/after, k-way merge) with allocation stats, and
-# writes them as BENCH_kernels.json and BENCH_shuffle.json so the perf
-# trajectory of the hot paths is recorded per commit. CI uploads both
-# files as workflow artifacts; run locally with:
+# writes them as BENCH_kernels.json and BENCH_shuffle.json, plus the
+# end-to-end scaling comparison of the exact all-pairs pipeline vs the
+# LSH+connected-components pipeline (internal/core) as BENCH_lsh.json, so
+# the perf trajectory of the hot paths — and the sub-quadratic claim —
+# is recorded per commit. CI uploads all three files as workflow
+# artifacts; run locally with:
 #
-#   ./scripts/bench_json.sh [kernels.json [shuffle.json]]
+#   ./scripts/bench_json.sh [kernels.json [shuffle.json [lsh.json]]]
 #
-# BENCHTIME overrides the per-benchmark budget (default 0.5s).
+# BENCHTIME overrides the per-benchmark budget (default 0.5s). The LSH
+# scaling runs are whole-pipeline macro-benchmarks and always run once
+# each (-benchtime 1x): quadrupling N should ~16x the exact path but
+# stay well under 8x for the LSH path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 kernels_out="${1:-BENCH_kernels.json}"
 shuffle_out="${2:-BENCH_shuffle.json}"
+lsh_out="${3:-BENCH_lsh.json}"
 benchtime="${BENCHTIME:-0.5s}"
 
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -58,3 +65,8 @@ go test -run '^$' -bench 'Shuffle|PartitionSort|MergeRuns' \
   -benchmem -benchtime "$benchtime" ./internal/mapreduce/ |
   to_json > "$shuffle_out"
 echo "wrote $shuffle_out"
+
+go test -run '^$' -bench 'ClusterExactScale|ClusterLSHCCScale' \
+  -benchtime 1x -timeout 30m ./internal/core/ |
+  to_json > "$lsh_out"
+echo "wrote $lsh_out"
