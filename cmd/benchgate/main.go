@@ -1,0 +1,130 @@
+// Command benchgate compares a freshly produced benchmark JSON file (the
+// output of scripts/bench_json.sh) against a committed baseline and fails
+// when the hot paths regressed:
+//
+//   - ns/op more than -max-regress (default 0.30 = +30%) above baseline,
+//   - any allocs/op increase in a kernel whose baseline is zero-alloc
+//     (the zero-alloc property is load-bearing: those kernels run inside
+//     O(N²) pair loops and map tasks).
+//
+// Benchmarks present in the baseline but missing from the current run are
+// warnings (renames should update the baseline in the same commit); new
+// benchmarks pass silently until a baseline records them.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_kernels.json -current /tmp/kernels.json [-max-regress 0.30]
+//
+// Exit status 1 on any regression, with one line per finding.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+type benchmark struct {
+	Name     string             `json:"name"`
+	Iters    int64              `json:"iterations"`
+	NsPerOp  float64            `json:"ns_per_op"`
+	BytesOp  *float64           `json:"bytes_per_op"`
+	AllocsOp *float64           `json:"allocs_per_op"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
+}
+
+type benchFile struct {
+	Commit     string      `json:"commit"`
+	Date       string      `json:"date"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline JSON (required)")
+		currentPath  = flag.String("current", "", "freshly produced JSON (required)")
+		maxRegress   = flag.Float64("max-regress", defaultRegress(), "max allowed ns/op regression as a fraction (0.30 = +30%)")
+		minNs        = flag.Float64("min-ns", 20, "skip the ns/op check when the baseline is below this (sub-noise timings)")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	curByName := make(map[string]benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curByName[b.Name] = b
+	}
+
+	failures := 0
+	for _, b := range base.Benchmarks {
+		c, ok := curByName[b.Name]
+		if !ok {
+			fmt.Printf("WARN  %s: in baseline %s but missing from current run (renamed? update the baseline)\n",
+				b.Name, *baselinePath)
+			continue
+		}
+		if b.NsPerOp >= *minNs && c.NsPerOp > b.NsPerOp*(1+*maxRegress) {
+			fmt.Printf("FAIL  %s: %.1f ns/op vs baseline %.1f (+%.0f%%, limit +%.0f%%)\n",
+				b.Name, c.NsPerOp, b.NsPerOp, (c.NsPerOp/b.NsPerOp-1)*100, *maxRegress*100)
+			failures++
+		}
+		if b.AllocsOp != nil && *b.AllocsOp == 0 && c.AllocsOp != nil && *c.AllocsOp > 0 {
+			fmt.Printf("FAIL  %s: %.0f allocs/op but the baseline is zero-alloc\n", b.Name, *c.AllocsOp)
+			failures++
+		}
+	}
+	for _, c := range cur.Benchmarks {
+		found := false
+		for _, b := range base.Benchmarks {
+			if b.Name == c.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("NOTE  %s: new benchmark, no baseline yet\n", c.Name)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("benchgate: %d regression(s) vs %s\n", failures, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within +%.0f%% of %s\n",
+		len(base.Benchmarks), *maxRegress*100, *baselinePath)
+}
+
+// defaultRegress reads BENCH_GATE_MAX_REGRESS so CI can widen the gate
+// without editing workflow args.
+func defaultRegress() float64 {
+	if s := os.Getenv("BENCH_GATE_MAX_REGRESS"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.30
+}

@@ -84,6 +84,7 @@ func run() error {
 		ckptDir    = flag.String("checkpoint-dir", "", "journal each STORE's committed bytes under this directory (enables -resume)")
 		shuffleBuf = flag.Int("shuffle-buffer", 0, "map-side sort buffer bytes; >0 switches the script's jobs onto the external spill-and-merge shuffle (0 = in-memory)")
 		candidate  = flag.String("candidate", "exact", "candidate-pair generation for -algorithm3: exact (all-pairs) or lsh (banded candidates + log-round connected components)")
+		storeBits  = flag.Int("store-bbits", 0, "signature store packing for the clustering UDFs: 0 = full 64-bit slots (bit-identical default), 1..16 = b-bit minwise packing, -1 = legacy per-call slices")
 		resume     checkpoint.ResumeFlag
 	)
 	flag.Var(params, "p", "script parameter NAME=VALUE (repeatable)")
@@ -178,7 +179,7 @@ func run() error {
 			return err
 		}
 		p.Candidate = *candidate
-		so := core.ScriptOptions{Trace: rec, Faults: injector, Checkpoint: journal, Resume: resume.On, ShuffleBufferBytes: *shuffleBuf}
+		so := core.ScriptOptions{Trace: rec, Faults: injector, Checkpoint: journal, Resume: resume.On, ShuffleBufferBytes: *shuffleBuf, StoreBits: *storeBits}
 		res, err := core.RunScriptOpts(fs, mapreduce.Cluster{Nodes: *nodes, SlotsPerNode: 2, Cost: mapreduce.DefaultCostModel}, p, *seed, so)
 		if err != nil {
 			return err
@@ -210,6 +211,7 @@ func run() error {
 			Checkpoint:         journal,
 			Resume:             resume.On,
 			ShuffleBufferBytes: *shuffleBuf,
+			StoreBits:          *storeBits,
 		}
 		res, err := script.Run(ctx)
 		if err != nil {

@@ -58,6 +58,10 @@ type Config struct {
 	// run: the exact all-pairs path (default) or the sub-quadratic
 	// LSH+connected-components path (see core.CandidateLSH).
 	Candidate core.CandidateGen
+	// StoreBits selects the signature backing of every MrMC-MinH run
+	// (see core.Options.StoreBits): 0 store-backed full width (default,
+	// bit-identical), -1 legacy slices, 1..16 b-bit packed.
+	StoreBits int
 	// CheckpointStore, when non-nil, journals every MrMC-MinH run's
 	// stages under a per-run content-addressed directory (run name plus
 	// input hash), so an interrupted experiment sweep can resume.
@@ -136,6 +140,7 @@ func runMrMC(name string, reads []fasta.Record, truth []string, opt core.Options
 	opt.Faults = cfg.Faults
 	opt.ShuffleBufferBytes = cfg.ShuffleBufferBytes
 	opt.Candidate = cfg.Candidate
+	opt.StoreBits = cfg.StoreBits
 	if cfg.CheckpointStore != nil {
 		dir := "/" + slug(name) + "-" + core.HashReads(reads)[:12]
 		journal, err := checkpoint.Open(cfg.CheckpointStore, dir)

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/metagenomics/mrmcminh/internal/minhash"
+)
+
+// sourceTestSigs builds n deterministic signatures in g groups: members
+// of a group share most slots (high Jaccard), across groups they are
+// random — plus every emptyEvery-th signature empty.
+func sourceTestSigs(n, numHashes, groups, emptyEvery int, seed int64) []minhash.Signature {
+	rng := rand.New(rand.NewSource(seed))
+	bases := make([]minhash.Signature, groups)
+	for g := range bases {
+		bases[g] = make(minhash.Signature, numHashes)
+		for j := range bases[g] {
+			bases[g][j] = rng.Uint64() % (1 << 61)
+		}
+	}
+	sigs := make([]minhash.Signature, n)
+	for i := range sigs {
+		sig := make(minhash.Signature, numHashes)
+		if emptyEvery > 0 && i%emptyEvery == emptyEvery-1 {
+			for j := range sig {
+				sig[j] = minhash.EmptyMin
+			}
+		} else {
+			copy(sig, bases[i%groups])
+			// perturb a few slots so within-group similarity is high but
+			// not exactly 1
+			for k := 0; k < 1+i%3; k++ {
+				sig[rng.Intn(numHashes)] = rng.Uint64() % (1 << 61)
+			}
+		}
+		sigs[i] = sig
+	}
+	return sigs
+}
+
+func clusteringsEqual(t *testing.T, name string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d labels vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: label[%d] = %d, want %d", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestGreedySourceEquivalence pins GreedySource over a SliceSource to be
+// identical to the slice-backed Greedy oracle.
+func TestGreedySourceEquivalence(t *testing.T) {
+	sigs := sourceTestSigs(150, 40, 6, 11, 1)
+	for _, est := range []minhash.Estimator{minhash.SetOverlap, minhash.MatchedPositions} {
+		opt := GreedyOptions{Threshold: 0.6, Estimator: est}
+		want, err := Greedy(sigs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GreedySource(NewSliceSource(sigs, est), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusteringsEqual(t, "GreedySource", got, want)
+	}
+	if _, err := GreedySource(NewSliceSource(nil, minhash.SetOverlap), GreedyOptions{Threshold: 2}); err == nil {
+		t.Fatal("bad threshold: expected error")
+	}
+}
+
+// TestGreedyLSHSourceEquivalence pins GreedyLSHSource — including its
+// replicated BandIndex candidate ordering — identical to GreedyLSH.
+func TestGreedyLSHSourceEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		sigs := sourceTestSigs(200, 40, 8, 13, seed)
+		opt := GreedyOptions{Threshold: 0.6, Estimator: minhash.SetOverlap}
+		lsh := LSHOptions{Bands: 8, Rows: 5}
+		want, err := GreedyLSH(sigs, opt, lsh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GreedyLSHSource(NewSliceSource(sigs, opt.Estimator), opt, lsh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusteringsEqual(t, "GreedyLSHSource", got, want)
+	}
+}
+
+func TestGreedyLSHSourceValidation(t *testing.T) {
+	src := NewSliceSource(sourceTestSigs(10, 20, 2, 0, 4), minhash.SetOverlap)
+	if _, err := GreedyLSHSource(src, GreedyOptions{Threshold: 0.5}, LSHOptions{Bands: 7, Rows: 5}); err == nil {
+		t.Fatal("oversized geometry: expected error")
+	}
+	if _, err := GreedyLSHSource(src, GreedyOptions{Threshold: -1}, LSHOptions{Bands: 4, Rows: 5}); err == nil {
+		t.Fatal("bad threshold: expected error")
+	}
+	empty := NewSliceSource(nil, minhash.SetOverlap)
+	if _, err := GreedyLSHSource(empty, GreedyOptions{Threshold: 0.5}, LSHOptions{Bands: 0, Rows: 5}); err == nil {
+		t.Fatal("zero bands: expected error even on empty input")
+	}
+	got, err := GreedyLSHSource(empty, GreedyOptions{Threshold: 0.5}, LSHOptions{Bands: 4, Rows: 5})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty source: got %v, %v", got, err)
+	}
+}
+
+// TestHierarchicalFromSourceEquivalence pins HierarchicalFromSource
+// identical to HierarchicalFromSignatures for every linkage.
+func TestHierarchicalFromSourceEquivalence(t *testing.T) {
+	sigs := sourceTestSigs(90, 30, 5, 10, 2)
+	for _, link := range []Linkage{Single, Average, Complete} {
+		want, err := HierarchicalFromSignatures(sigs, minhash.SetOverlap, link, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := HierarchicalFromSource(NewSliceSource(sigs, minhash.SetOverlap), link, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusteringsEqual(t, link.String(), got, want)
+	}
+	if _, err := HierarchicalFromSource(NewSliceSource(sigs, minhash.SetOverlap), Single, 1.5); err == nil {
+		t.Fatal("bad threshold: expected error")
+	}
+}
+
+// TestIncrementalSourceEquivalence pins IncrementalSource identical to
+// Incremental given the same arrival order, with and without banding.
+func TestIncrementalSourceEquivalence(t *testing.T) {
+	sigs := sourceTestSigs(120, 40, 6, 9, 3)
+	opt := GreedyOptions{Threshold: 0.6, Estimator: minhash.SetOverlap}
+	for _, geo := range []*LSHOptions{nil, {Bands: 8, Rows: 5}} {
+		ref, err := NewIncremental(opt, geo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := NewIncrementalSource(NewSliceSource(sigs, opt.Estimator), opt, geo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, sig := range sigs {
+			want, err := ref.Add(sig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := src.Add(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("geo=%v read %d: label %d, want %d", geo, i, got, want)
+			}
+		}
+		if src.NumClusters() != ref.NumClusters() || src.NumReads() != ref.NumReads() {
+			t.Fatalf("geo=%v: counts %d/%d vs %d/%d", geo,
+				src.NumClusters(), src.NumReads(), ref.NumClusters(), ref.NumReads())
+		}
+	}
+	src, _ := NewIncrementalSource(NewSliceSource(sigs, opt.Estimator), opt, nil)
+	if _, err := src.Add(len(sigs)); err == nil {
+		t.Fatal("out-of-range index: expected error")
+	}
+}
+
+// TestSubsetSourceProjects checks SubsetSource's index remapping against
+// direct slicing.
+func TestSubsetSourceProjects(t *testing.T) {
+	sigs := sourceTestSigs(60, 30, 4, 7, 5)
+	src := NewSliceSource(sigs, minhash.SetOverlap)
+	ids := []int{3, 17, 41, 8, 59, 20}
+	sub := Subset(src, ids)
+	if sub.Len() != len(ids) || sub.NumHashes() != src.NumHashes() {
+		t.Fatalf("subset geometry %d/%d", sub.Len(), sub.NumHashes())
+	}
+	picked := make([]minhash.Signature, len(ids))
+	for i, id := range ids {
+		picked[i] = sigs[id]
+	}
+	direct := NewSliceSource(picked, minhash.SetOverlap)
+	for i := range ids {
+		if sub.Empty(i) != direct.Empty(i) {
+			t.Fatalf("Empty(%d) mismatch", i)
+		}
+		if sub.BandHash(i, 1, 5) != direct.BandHash(i, 1, 5) {
+			t.Fatalf("BandHash(%d) mismatch", i)
+		}
+		for j := i + 1; j < len(ids); j++ {
+			if sub.Similarity(i, j) != direct.Similarity(i, j) {
+				t.Fatalf("Similarity(%d,%d) mismatch", i, j)
+			}
+		}
+	}
+	// Clustering a subset equals clustering the copied-out slice.
+	opt := GreedyOptions{Threshold: 0.6, Estimator: minhash.SetOverlap}
+	want, err := Greedy(picked, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GreedySource(sub, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusteringsEqual(t, "subset greedy", got, want)
+}

@@ -58,7 +58,21 @@ func RunLevels(reads []fasta.Record, opt Options, thetas []float64) (*LevelsResu
 	}
 	res.Virtual += skOut.Virtual
 	res.Jobs++
-	m, simOut, err := similarityJob(engine, sigs, opt)
+	// Same source routing as Run: the matrix rows read borrowed store rows
+	// unless the legacy slice oracle (StoreBits == -1) is requested.
+	var src cluster.SigSource = cluster.NewSliceSource(sigs, opt.Estimator)
+	if opt.StoreBits >= 0 {
+		store, err := buildStore(reads, sigs, opt)
+		if err != nil {
+			return nil, err
+		}
+		view, err := store.View(opt.Estimator)
+		if err != nil {
+			return nil, err
+		}
+		src = view
+	}
+	m, simOut, err := similarityJob(engine, src, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -9,7 +9,6 @@ import (
 	"github.com/metagenomics/mrmcminh/internal/cluster"
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/metrics"
-	"github.com/metagenomics/mrmcminh/internal/minhash"
 )
 
 // The LSH+CC clustering path (Options.Candidate == CandidateLSH). Instead
@@ -50,8 +49,11 @@ func lshBucketCap(opt Options) int {
 func pairKey(i, j int) string { return fmt.Sprintf("%012d:%012d", i, j) }
 
 // lshEdgesJobs runs candidate generation and verification as two chained
-// MapReduce jobs and returns the verified θ-edges, sorted.
-func lshEdgesJobs(engine *mapreduce.Engine, sigs []minhash.Signature, opt Options) ([]cluster.Edge, []*mapreduce.Result, error) {
+// MapReduce jobs and returns the verified θ-edges, sorted. Signatures are
+// read through the source — band hashes and pair similarities come off
+// borrowed store rows (or prepared slices on the legacy path) without
+// materializing any per-task signature copies.
+func lshEdgesJobs(engine *mapreduce.Engine, src sigSource, opt Options) ([]cluster.Edge, []*mapreduce.Result, error) {
 	lsh := lshGeometry(opt)
 	cap := lshBucketCap(opt)
 
@@ -61,8 +63,8 @@ func lshEdgesJobs(engine *mapreduce.Engine, sigs []minhash.Signature, opt Option
 	// stage and end as singleton components, exactly like the exact path
 	// at θ > 0.
 	var records []mapreduce.KeyValue
-	for i := range sigs {
-		if !sigs[i].Empty() {
+	for i := 0; i < src.Len(); i++ {
+		if !src.Empty(i) {
 			records = append(records, mapreduce.KeyValue{Key: fmt.Sprintf("%012d", i), Value: i})
 		}
 	}
@@ -77,7 +79,7 @@ func lshEdgesJobs(engine *mapreduce.Engine, sigs []minhash.Signature, opt Option
 		Map: func(kv mapreduce.KeyValue, emit func(mapreduce.KeyValue)) error {
 			i := kv.Value.(int)
 			for b := 0; b < lsh.Bands; b++ {
-				h := minhash.BandHash(sigs[i], b, lsh.Rows)
+				h := src.BandHash(i, b, lsh.Rows)
 				emit(mapreduce.KeyValue{Key: fmt.Sprintf("%03d:%016x", b, h), Value: i})
 			}
 			return nil
@@ -114,7 +116,6 @@ func lshEdgesJobs(engine *mapreduce.Engine, sigs []minhash.Signature, opt Option
 	bandsOut.Counters.Add("lsh.buckets", buckets.Load())
 	bandsOut.Counters.Add("lsh.bucket_overflow", overflow.Load())
 
-	prep := minhash.PrepareAll(sigs)
 	var candidates, edgeCount atomic.Int64
 	verifyJob := &mapreduce.Job{
 		Name:               "mrmcminh-lsh-verify",
@@ -133,7 +134,7 @@ func lshEdgesJobs(engine *mapreduce.Engine, sigs []minhash.Signature, opt Option
 				return fmt.Errorf("core: bad candidate pair key %q: %w", key, err)
 			}
 			candidates.Add(1)
-			if opt.Estimator.SimilarityPrepared(prep[i], prep[j]) >= opt.Theta {
+			if src.Similarity(i, j) >= opt.Theta {
 				edgeCount.Add(1)
 				emit(mapreduce.KeyValue{Key: key, Value: cluster.Edge{U: i, V: j}})
 			}
@@ -166,8 +167,8 @@ func lshEdgesJobs(engine *mapreduce.Engine, sigs []minhash.Signature, opt Option
 // each connected component (components are grouped in the shuffle, members
 // arrive as values) and returns each read's (component, local label)
 // resolved to a global label by first appearance in read order.
-func lshFinishJob(engine *mapreduce.Engine, sigs []minhash.Signature, comps []int, opt Options) (metrics.Clustering, *mapreduce.Result, error) {
-	n := len(sigs)
+func lshFinishJob(engine *mapreduce.Engine, src sigSource, comps []int, opt Options) (metrics.Clustering, *mapreduce.Result, error) {
+	n := src.Len()
 	records := make([]mapreduce.KeyValue, n)
 	for i := range records {
 		records[i] = mapreduce.KeyValue{Key: fmt.Sprintf("%012d", i), Value: i}
@@ -198,16 +199,18 @@ func lshFinishJob(engine *mapreduce.Engine, sigs []minhash.Signature, comps []in
 			if len(members) == 1 {
 				labels = metrics.Clustering{0}
 			} else {
-				sub := make([]minhash.Signature, len(members))
-				for i, m := range members {
-					sub[i] = sigs[m]
-				}
+				// Restrict the source to the component — an index remap, no
+				// signature copies — and run the exact algorithm over it.
+				// GreedySource/HierarchicalFromSource over a subset are
+				// pinned bit-identical to the copied-slice legacy path by
+				// the cluster equivalence tests.
+				sub := cluster.Subset(src, members)
 				var err error
 				switch opt.Mode {
 				case GreedyMode:
-					labels, err = cluster.Greedy(sub, cluster.GreedyOptions{Threshold: opt.Theta, Estimator: opt.Estimator})
+					labels, err = cluster.GreedySource(sub, cluster.GreedyOptions{Threshold: opt.Theta, Estimator: opt.Estimator})
 				case HierarchicalMode:
-					labels, err = cluster.HierarchicalFromSignatures(sub, opt.Estimator, opt.Linkage, opt.Theta)
+					labels, err = cluster.HierarchicalFromSource(sub, opt.Linkage, opt.Theta)
 				}
 				if err != nil {
 					return err
@@ -253,7 +256,7 @@ func lshFinishJob(engine *mapreduce.Engine, sigs []minhash.Signature, comps []in
 // clusterLSHCC drives the LSH candidate stage, connected components and
 // the per-component finish, threading each stage through the checkpoint
 // runner exactly like the exact path's stages.
-func clusterLSHCC(engine *mapreduce.Engine, sigs []minhash.Signature, sigsHash string, opt Options, res *Result, ck *ckptRunner, addJob func(*mapreduce.Result)) error {
+func clusterLSHCC(engine *mapreduce.Engine, src sigSource, sigsHash string, opt Options, res *Result, ck *ckptRunner, addJob func(*mapreduce.Result)) error {
 	lsh := lshGeometry(opt)
 	edgeParams := map[string]string{
 		"theta":      fmt.Sprint(opt.Theta),
@@ -274,7 +277,7 @@ func clusterLSHCC(engine *mapreduce.Engine, sigs []minhash.Signature, sigsHash s
 	} else {
 		var results []*mapreduce.Result
 		var err error
-		if edges, results, err = lshEdgesJobs(engine, sigs, opt); err != nil {
+		if edges, results, err = lshEdgesJobs(engine, src, opt); err != nil {
 			return err
 		}
 		for _, r := range results {
@@ -293,7 +296,7 @@ func clusterLSHCC(engine *mapreduce.Engine, sigs []minhash.Signature, sigsHash s
 	}
 
 	ccParams := map[string]string{
-		"n":          fmt.Sprint(len(sigs)),
+		"n":          fmt.Sprint(src.Len()),
 		"max_rounds": fmt.Sprint(cluster.DefaultCCMaxRounds),
 	}
 	var comps []int
@@ -308,7 +311,7 @@ func clusterLSHCC(engine *mapreduce.Engine, sigs []minhash.Signature, sigsHash s
 		comps = labels
 		compBytes = data
 	} else {
-		labels, results, _, err := cluster.ConnectedComponentsMR(engine, len(sigs), edges, cluster.CCOptions{
+		labels, results, _, err := cluster.ConnectedComponentsMR(engine, src.Len(), edges, cluster.CCOptions{
 			ShuffleBufferBytes: opt.ShuffleBufferBytes,
 		})
 		if err != nil {
@@ -343,7 +346,7 @@ func clusterLSHCC(engine *mapreduce.Engine, sigs []minhash.Signature, sigsHash s
 			return err
 		}
 	} else {
-		labels, out, err := lshFinishJob(engine, sigs, comps, opt)
+		labels, out, err := lshFinishJob(engine, src, comps, opt)
 		if err != nil {
 			return err
 		}

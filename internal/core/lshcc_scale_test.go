@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"testing"
 
 	"github.com/metagenomics/mrmcminh/internal/cluster"
@@ -84,6 +85,10 @@ func BenchmarkClusterLSHCCScale(b *testing.B) {
 // explicitly requested:
 //
 //	LSH_1M=1 go test -run ClusterLSHCCMillionReads -timeout 60m ./internal/core/
+//
+// The run goes through the sharded signature store (the StoreBits zero
+// value); LSH_1M_STORE_BITS selects b-bit packing (e.g. 4) so the
+// nightly can exercise the compressed arena at scale.
 func TestClusterLSHCCMillionReads(t *testing.T) {
 	if os.Getenv("LSH_1M") == "" {
 		t.Skip("set LSH_1M=1 to run the million-read end-to-end test")
@@ -94,6 +99,13 @@ func TestClusterLSHCCMillionReads(t *testing.T) {
 	opt.Candidate = CandidateLSH
 	opt.LSH = lshScaleGeometry
 	opt.ShuffleBufferBytes = 4 << 20 // force the external shuffle end-to-end
+	if s := os.Getenv("LSH_1M_STORE_BITS"); s != "" {
+		bits, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("LSH_1M_STORE_BITS=%q: %v", s, err)
+		}
+		opt.StoreBits = bits
+	}
 	res, err := Run(reads, opt)
 	if err != nil {
 		t.Fatal(err)
@@ -103,6 +115,8 @@ func TestClusterLSHCCMillionReads(t *testing.T) {
 	t.Logf("counters: pairs=%d edges=%d cc.rounds=%d spills=%d",
 		res.Counters["lsh.candidate_pairs"], res.Counters["lsh.edges"],
 		res.Counters["cc.rounds"], res.Counters["shuffle.spills"])
+	t.Logf("sigstore: %d reads, %d resident signature bytes (b=%d)",
+		res.Counters["sigstore.reads"], res.Counters["sigstore.resident_bytes"], opt.StoreBits)
 	// The grouping is generous (near-duplicate members, θ=0.9): the
 	// cluster count must land near the planted 100k, not at 1M singletons
 	// (no candidates found) nor collapse toward a handful (bucket soup).

@@ -14,6 +14,7 @@ import (
 	"github.com/metagenomics/mrmcminh/internal/mapreduce"
 	"github.com/metagenomics/mrmcminh/internal/metrics"
 	"github.com/metagenomics/mrmcminh/internal/minhash"
+	"github.com/metagenomics/mrmcminh/internal/sigstore"
 	"github.com/metagenomics/mrmcminh/internal/trace"
 )
 
@@ -125,6 +126,18 @@ type Options struct {
 	// dropped from that bucket (counted in lsh.bucket_overflow) — they
 	// stay reachable through their other bands.
 	LSHBucketCap int
+	// StoreBits selects where signatures live between pipeline stages.
+	// 0 (the default): a sharded signature store (internal/sigstore)
+	// holds full 64-bit signatures and every downstream stage borrows
+	// from its arenas — bit-identical to the legacy slice path.
+	// -1: legacy per-run Go slices, kept as the equivalence oracle.
+	// 1..16: the store packs signatures to b bits per slot (b-bit
+	// minwise hashing, Li & König) for an 8–64× smaller resident
+	// footprint; clustering then runs the collision-corrected estimator
+	// directly over the packed words — a deliberately lossy
+	// configuration, not a bit-identical one. Counters
+	// sigstore.resident_bytes / sigstore.reads report the footprint.
+	StoreBits int
 	// Seed drives hash-function draws.
 	Seed int64
 	// Cluster is the simulated deployment; zero uses the paper's 8 nodes.
@@ -208,6 +221,9 @@ func (o Options) Validate() error {
 	}
 	if o.Candidate != CandidateExact && o.Candidate != CandidateLSH {
 		return fmt.Errorf("core: invalid candidate generator %d", o.Candidate)
+	}
+	if o.StoreBits < -1 || o.StoreBits > 16 {
+		return fmt.Errorf("core: StoreBits must be -1 (slices), 0 (full store) or 1..16 (packed), got %d", o.StoreBits)
 	}
 	if o.Candidate == CandidateLSH {
 		if o.Theta <= 0 {
@@ -390,13 +406,29 @@ func Run(reads []fasta.Record, opt Options) (*Result, error) {
 		"canonical":  fmt.Sprint(opt.Canonical),
 		"seed":       fmt.Sprint(opt.Seed),
 	}
+	if opt.StoreBits > 0 {
+		// Packed storage changes the sketch stage's committed bytes (a
+		// store snapshot instead of the full-signature codec), so mixing
+		// packed and unpacked journals must surface as a parameter
+		// mismatch, not a corrupt decode.
+		sketchParams["store_bits"] = fmt.Sprint(opt.StoreBits)
+	}
 
 	var sigs []minhash.Signature
+	var store *sigstore.Store
 	var sigBytes []byte // encoded sketch output, when journaling
 	if data, ok, err := ck.lookup(StageSketch, readsHash, sketchParams); err != nil {
 		return nil, err
 	} else if ok {
-		if sigs, err = decodeSignatures(data); err != nil {
+		if opt.StoreBits > 0 {
+			if store, err = sigstore.Restore(data); err != nil {
+				return nil, err
+			}
+			if store.NumHashes() != opt.NumHashes || store.Bits() != opt.StoreBits || store.Len() != len(reads) {
+				return nil, fmt.Errorf("core: checkpointed store geometry n=%d/b=%d/reads=%d does not match run n=%d/b=%d/reads=%d",
+					store.NumHashes(), store.Bits(), store.Len(), opt.NumHashes, opt.StoreBits, len(reads))
+			}
+		} else if sigs, err = decodeSignatures(data); err != nil {
 			return nil, err
 		}
 		sigBytes = data
@@ -406,12 +438,44 @@ func Run(reads []fasta.Record, opt Options) (*Result, error) {
 			return nil, err
 		}
 		addJob(mrout)
-		if opt.Checkpoint != nil {
+		if opt.StoreBits > 0 {
+			if store, err = buildStore(reads, sigs, opt); err != nil {
+				return nil, err
+			}
+			sigs = nil // packed mode never keeps the full signatures resident
+			if opt.Checkpoint != nil {
+				sigBytes = store.Snapshot()
+			}
+		} else if opt.Checkpoint != nil {
 			sigBytes = encodeSignatures(sigs)
 		}
 		if err := ck.commit(StageSketch, readsHash, sketchParams, func() []byte { return sigBytes }); err != nil {
 			return nil, err
 		}
+	}
+	if opt.StoreBits == 0 {
+		// Full-width store: built from the signatures on either path
+		// (fresh sketch or checkpoint restore). Its sketch checkpoint
+		// stays the legacy signature codec, so journals written by the
+		// slice path resume under the store path and vice versa.
+		if store, err = buildStore(reads, sigs, opt); err != nil {
+			return nil, err
+		}
+	}
+	var src sigSource
+	if store != nil {
+		view, err := store.View(opt.Estimator)
+		if err != nil {
+			return nil, err
+		}
+		src = view
+		if res.Counters == nil {
+			res.Counters = make(map[string]int64)
+		}
+		res.Counters["sigstore.resident_bytes"] = store.ResidentBytes()
+		res.Counters["sigstore.reads"] = int64(store.Len())
+	} else {
+		src = cluster.NewSliceSource(sigs, opt.Estimator)
 	}
 	var sigsHash string
 	if opt.Checkpoint != nil {
@@ -419,7 +483,7 @@ func Run(reads []fasta.Record, opt Options) (*Result, error) {
 	}
 
 	if opt.Candidate == CandidateLSH {
-		if err := clusterLSHCC(engine, sigs, sigsHash, opt, res, ck, addJob); err != nil {
+		if err := clusterLSHCC(engine, src, sigsHash, opt, res, ck, addJob); err != nil {
 			return nil, err
 		}
 		res.SkippedStages = ck.skipped
@@ -441,7 +505,7 @@ func Run(reads []fasta.Record, opt Options) (*Result, error) {
 				return nil, err
 			}
 		} else {
-			labels, mrout, err := greedyJob(engine, sigs, opt)
+			labels, mrout, err := greedyJob(engine, src, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -466,7 +530,7 @@ func Run(reads []fasta.Record, opt Options) (*Result, error) {
 			matBytes = data
 		} else {
 			var mrout *mapreduce.Result
-			if m, mrout, err = similarityJob(engine, sigs, opt); err != nil {
+			if m, mrout, err = similarityJob(engine, src, opt); err != nil {
 				return nil, err
 			}
 			addJob(mrout)
@@ -555,18 +619,71 @@ func sketchJob(engine *mapreduce.Engine, reads []fasta.Record, opt Options) ([]m
 	return sigs, out, nil
 }
 
+// sigSource is the pipeline's view of a signature corpus: the cluster
+// package's SigSource kernel interface plus borrowed payload access for
+// shuffle emission. Satisfied by cluster.SliceSource (legacy,
+// StoreBits == -1) and sigstore.View (store-backed, the default).
+type sigSource interface {
+	cluster.SigSource
+	// Sig returns the borrowed full signature for i (nil on packed
+	// stores).
+	Sig(i int) minhash.Signature
+	// PackedSig returns the borrowed packed signature for i (the zero
+	// value on full-width sources).
+	PackedSig(i int) minhash.BBitSignature
+}
+
+// buildStore ingests a sketched corpus into a sharded signature store.
+// Rows are keyed by read index (PutBatch from dense ID 0), which keeps
+// store-backed runs index-aligned with the legacy path even when a FASTA
+// repeats a read ID; the translator additionally registers each read ID
+// (duplicates resolve to their first occurrence).
+func buildStore(reads []fasta.Record, sigs []minhash.Signature, opt Options) (*sigstore.Store, error) {
+	bits := opt.StoreBits
+	if bits < 0 {
+		bits = 0
+	}
+	st, err := sigstore.New(sigstore.Config{NumHashes: opt.NumHashes, Bits: bits})
+	if err != nil {
+		return nil, err
+	}
+	if err := st.PutBatch(0, sigs); err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(reads))
+	for i := range reads {
+		keys[i] = reads[i].ID
+	}
+	st.Translator().TranslateBatch(nil, keys)
+	return st, nil
+}
+
 // greedyJob runs Algorithm 1 inside a single reducer (the paper's GROUP
-// ALL followed by the GreedyClustering UDF).
-func greedyJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Options) (metrics.Clustering, *mapreduce.Result, error) {
+// ALL followed by the GreedyClustering UDF). Every read's signature rides
+// the shuffle as a borrowed row — full 64-bit words or b-bit packed,
+// whichever the store holds — and on the store-backed paths the reducer
+// then clusters by borrowing from the store directly instead of
+// materializing the shuffled copies.
+func greedyJob(engine *mapreduce.Engine, src sigSource, opt Options) (metrics.Clustering, *mapreduce.Result, error) {
 	type indexedSig struct {
 		idx int
 		sig minhash.Signature
 	}
-	records := make([]mapreduce.KeyValue, len(sigs))
-	for i := range sigs {
-		records[i] = mapreduce.KeyValue{Key: "all", Value: indexedSig{idx: i, sig: sigs[i]}}
+	type indexedPacked struct {
+		idx   int
+		words []uint64
 	}
-	labels := make(metrics.Clustering, len(sigs))
+	n := src.Len()
+	packed := opt.StoreBits > 0
+	records := make([]mapreduce.KeyValue, n)
+	for i := 0; i < n; i++ {
+		if packed {
+			records[i] = mapreduce.KeyValue{Key: "all", Value: indexedPacked{idx: i, words: src.PackedSig(i).Words}}
+		} else {
+			records[i] = mapreduce.KeyValue{Key: "all", Value: indexedSig{idx: i, sig: src.Sig(i)}}
+		}
+	}
+	labels := make(metrics.Clustering, n)
 	job := &mapreduce.Job{
 		Name:               "mrmcminh-greedy",
 		Input:              mapreduce.MemoryInput{Records: records, SplitSize: splitSize(len(records), engine.Cluster)},
@@ -581,18 +698,26 @@ func greedyJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Options) 
 			return nil
 		},
 		Reduce: func(_ string, values []any, emit func(mapreduce.KeyValue)) error {
-			ordered := make([]minhash.Signature, len(values))
-			for _, v := range values {
-				is := v.(indexedSig)
-				ordered[is.idx] = is.sig
-			}
 			gopt := cluster.GreedyOptions{Threshold: opt.Theta, Estimator: opt.Estimator}
 			var got metrics.Clustering
 			var err error
-			if opt.UseLSH {
-				got, err = cluster.GreedyLSH(ordered, gopt, cluster.GeometryFor(opt.NumHashes, opt.Theta))
+			if opt.StoreBits < 0 {
+				// Legacy slice oracle: rebuild the corpus from the shuffled
+				// records, exactly as the pre-store pipeline did.
+				ordered := make([]minhash.Signature, len(values))
+				for _, v := range values {
+					is := v.(indexedSig)
+					ordered[is.idx] = is.sig
+				}
+				if opt.UseLSH {
+					got, err = cluster.GreedyLSH(ordered, gopt, cluster.GeometryFor(opt.NumHashes, opt.Theta))
+				} else {
+					got, err = cluster.Greedy(ordered, gopt)
+				}
+			} else if opt.UseLSH {
+				got, err = cluster.GreedyLSHSource(src, gopt, cluster.GeometryFor(opt.NumHashes, opt.Theta))
 			} else {
-				got, err = cluster.Greedy(ordered, gopt)
+				got, err = cluster.GreedySource(src, gopt)
 			}
 			if err != nil {
 				return err
@@ -610,9 +735,11 @@ func greedyJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Options) 
 
 // similarityJob computes the all-pairs matrix with row-partitioned map
 // tasks (paper §III-C: "calculation of all pairwise similarity is
-// performed in parallel by performing a row-wise partition").
-func similarityJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Options) (*cluster.Matrix, *mapreduce.Result, error) {
-	n := len(sigs)
+// performed in parallel by performing a row-wise partition"). Map tasks
+// read pairs straight off the source — prepared slices or store arenas —
+// so the O(n²) row scans are allocation-free either way.
+func similarityJob(engine *mapreduce.Engine, src cluster.SigSource, opt Options) (*cluster.Matrix, *mapreduce.Result, error) {
+	n := src.Len()
 	m, err := cluster.NewMatrix(n)
 	if err != nil {
 		return nil, nil, err
@@ -625,10 +752,6 @@ func similarityJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Optio
 		idx int
 		row []float64
 	}
-	// Prepare every signature once on the driver so the O(n²) row scans
-	// below are allocation-free (the legacy path re-sorted both
-	// signatures per pair).
-	prep := minhash.PrepareAll(sigs)
 	job := &mapreduce.Job{
 		Name:               "mrmcminh-simrows",
 		Input:              mapreduce.MemoryInput{Records: records, SplitSize: splitSize(n, engine.Cluster)},
@@ -640,7 +763,7 @@ func similarityJob(engine *mapreduce.Engine, sigs []minhash.Signature, opt Optio
 			i := kv.Value.(int)
 			row := make([]float64, n)
 			for j := i + 1; j < n; j++ {
-				row[j] = opt.Estimator.SimilarityPrepared(prep[i], prep[j])
+				row[j] = src.Similarity(i, j)
 			}
 			emit(mapreduce.KeyValue{Key: kv.Key, Value: rowResult{idx: i, row: row}})
 			return nil

@@ -95,6 +95,10 @@ type ScriptOptions struct {
 	// jobs (see mapreduce.Job.ShuffleBufferBytes); 0 keeps the in-memory
 	// shuffle.
 	ShuffleBufferBytes int
+	// StoreBits selects the signature backing of the clustering UDFs
+	// (see Options.StoreBits): 0 store-backed full width (default),
+	// -1 legacy slices, 1..16 b-bit packed.
+	StoreBits int
 }
 
 // nextPrimeAbove returns the smallest prime > n (trial division; the
@@ -156,6 +160,9 @@ func RunScriptOpts(fs *dfs.FileSystem, clusterCfg mapreduce.Cluster, p ScriptPar
 	if rec.Enabled() {
 		fs.SetTrace(rec)
 	}
+	if so.StoreBits < -1 || so.StoreBits > 16 {
+		return nil, fmt.Errorf("core: StoreBits must be -1 (slices), 0 (full store) or 1..16 (packed), got %d", so.StoreBits)
+	}
 	ctx := &pig.Context{
 		FS:                 fs,
 		Engine:             engine,
@@ -164,6 +171,7 @@ func RunScriptOpts(fs *dfs.FileSystem, clusterCfg mapreduce.Cluster, p ScriptPar
 		Checkpoint:         so.Checkpoint,
 		Resume:             so.Resume,
 		ShuffleBufferBytes: so.ShuffleBufferBytes,
+		StoreBits:          so.StoreBits,
 		Params: map[string]string{
 			"INPUT":   p.Input,
 			"OUTPUT1": p.Output1,

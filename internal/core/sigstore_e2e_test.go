@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/metagenomics/mrmcminh/internal/checkpoint"
+	"github.com/metagenomics/mrmcminh/internal/faults"
+	"github.com/metagenomics/mrmcminh/internal/mapreduce"
+	"github.com/metagenomics/mrmcminh/internal/metrics"
+)
+
+// TestStoreBackedBitIdenticalToSlices pins the store-backed pipeline
+// (StoreBits == 0, the default) bit-identical to the legacy slice path
+// (StoreBits == -1) across modes, the LSH greedy accelerator and both
+// candidate generators, for every chaos seed.
+func TestStoreBackedBitIdenticalToSlices(t *testing.T) {
+	for _, seed := range resumeSeeds(t) {
+		reads, _ := makeReads(4, 6, 200, 0.01, seed)
+		cases := []struct {
+			name string
+			mut  func(*Options)
+		}{
+			{"greedy", func(o *Options) { o.Mode = GreedyMode }},
+			{"greedy-lsh", func(o *Options) { o.Mode = GreedyMode; o.UseLSH = true }},
+			{"hierarchical", func(o *Options) { o.Mode = HierarchicalMode }},
+			{"greedy-candlsh", func(o *Options) { o.Mode = GreedyMode; o.Candidate = CandidateLSH }},
+			{"hierarchical-candlsh", func(o *Options) { o.Mode = HierarchicalMode; o.Candidate = CandidateLSH }},
+		}
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, tc.name), func(t *testing.T) {
+				opt := Options{
+					K: 8, NumHashes: 40, Theta: 0.4,
+					Seed: seed, Cluster: smallCluster(),
+				}
+				tc.mut(&opt)
+
+				legacy := opt
+				legacy.StoreBits = -1
+				want, err := Run(reads, legacy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stored := opt
+				stored.StoreBits = 0
+				got, err := Run(reads, stored)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+					t.Fatal("store-backed clustering differs from the slice path")
+				}
+				if got.Counters["sigstore.resident_bytes"] != int64(len(reads)*opt.NumHashes*8) {
+					t.Fatalf("sigstore.resident_bytes = %d, want %d",
+						got.Counters["sigstore.resident_bytes"], len(reads)*opt.NumHashes*8)
+				}
+				if got.Counters["sigstore.reads"] != int64(len(reads)) {
+					t.Fatalf("sigstore.reads = %d", got.Counters["sigstore.reads"])
+				}
+			})
+		}
+	}
+}
+
+// TestStoreBackedBitIdenticalUnderChaosAndSpill drives the store-backed
+// default through fault injection and the external spill shuffle at once
+// and requires bit-identity with the clean slice-path run.
+func TestStoreBackedBitIdenticalUnderChaosAndSpill(t *testing.T) {
+	reads, _ := makeReads(4, 6, 200, 0.01, 7)
+	for _, mode := range []Mode{GreedyMode, HierarchicalMode} {
+		t.Run(mode.String(), func(t *testing.T) {
+			opt := Options{
+				K: 8, NumHashes: 40, Theta: 0.4, Mode: mode,
+				Seed: 7, Cluster: smallCluster(),
+			}
+			legacy := opt
+			legacy.StoreBits = -1
+			want, err := Run(reads, legacy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chaos := opt
+			chaos.StoreBits = 0
+			chaos.ShuffleBufferBytes = 256 // force record-at-a-time spills
+			chaos.Retry = mapreduce.RetryPolicy{MaxAttempts: 4}
+			plan := faults.ChaosPlan(11)
+			plan.NodeDeaths = []faults.NodeDeath{{Node: 1, At: 20 * time.Second}}
+			chaos.Faults = faults.MustNew(plan)
+			got, err := Run(reads, chaos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+				t.Fatal("chaos + spill over the store changed the clustering")
+			}
+			if chaos.Faults.Injected() == 0 {
+				t.Fatal("the chaos plan injected nothing")
+			}
+			// Only the greedy job shuffles signature records through a
+			// reducer; the hierarchical path is map-only and never spills.
+			if mode == GreedyMode && got.Counters[mapreduce.CounterShuffleSpills] == 0 {
+				t.Fatal("expected external shuffle spills at a 256-byte buffer")
+			}
+		})
+	}
+}
+
+// TestStoreBackedResumeInterop proves the sketch checkpoint of the
+// full-width store is the legacy signature codec: a journal written by a
+// slice-path run resumes under the store path bit-identically, and vice
+// versa.
+func TestStoreBackedResumeInterop(t *testing.T) {
+	reads, _ := makeReads(3, 5, 180, 0.01, 3)
+	base := Options{
+		K: 8, NumHashes: 40, Theta: 0.4, Mode: GreedyMode,
+		Seed: 3, Cluster: smallCluster(),
+	}
+	want, err := Run(reads, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []struct {
+		name           string
+		first, resumed int
+	}{
+		{"legacy-then-store", -1, 0},
+		{"store-then-legacy", 0, -1},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			tmp := t.TempDir()
+			first := base
+			first.StoreBits = dir.first
+			first.Checkpoint = openJournal(t, tmp)
+			first.Faults = faults.MustNew(faults.Plan{
+				DriverCrashes: []faults.DriverCrash{{AfterStage: StageSketch}},
+			})
+			_, err := Run(reads, first)
+			var dce *faults.DriverCrashError
+			if !errors.As(err, &dce) {
+				t.Fatalf("expected driver crash, got %v", err)
+			}
+
+			resumed := base
+			resumed.StoreBits = dir.resumed
+			resumed.Checkpoint = openJournal(t, tmp)
+			resumed.Resume = ResumeOn
+			res, err := Run(reads, resumed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Assignments, want.Assignments) {
+				t.Fatal("cross-backing resume changed the clustering")
+			}
+			if !reflect.DeepEqual(res.SkippedStages, []string{StageSketch}) {
+				t.Fatalf("skipped %v, want [sketch]", res.SkippedStages)
+			}
+		})
+	}
+}
+
+// TestPackedStoreResume checks the packed sketch checkpoint (a store
+// snapshot): a packed run resumes bit-identically from its own journal,
+// and mixing packed and unpacked journals is a typed parameter mismatch.
+func TestPackedStoreResume(t *testing.T) {
+	reads, _ := makeReads(3, 5, 180, 0.01, 4)
+	packed := Options{
+		K: 8, NumHashes: 40, Theta: 0.4, Mode: GreedyMode,
+		Seed: 4, Cluster: smallCluster(), StoreBits: 4,
+	}
+	want, err := Run(reads, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	first := packed
+	first.Checkpoint = openJournal(t, dir)
+	first.Faults = faults.MustNew(faults.Plan{
+		DriverCrashes: []faults.DriverCrash{{AfterStage: StageSketch}},
+	})
+	if _, err := Run(reads, first); err == nil {
+		t.Fatal("expected driver crash")
+	}
+
+	resumed := packed
+	resumed.Checkpoint = openJournal(t, dir)
+	resumed.Resume = ResumeOn
+	res, err := Run(reads, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Assignments, want.Assignments) {
+		t.Fatal("packed resume changed the clustering")
+	}
+	if !reflect.DeepEqual(res.SkippedStages, []string{StageSketch}) {
+		t.Fatalf("skipped %v", res.SkippedStages)
+	}
+
+	// A full-width run against the packed journal must fail typed, not
+	// misparse the snapshot as the signature codec.
+	mixed := packed
+	mixed.StoreBits = 0
+	mixed.Checkpoint = openJournal(t, dir)
+	mixed.Resume = ResumeOn
+	var pme *checkpoint.ParamMismatchError
+	if _, err := Run(reads, mixed); !errors.As(err, &pme) {
+		t.Fatalf("expected ParamMismatchError, got %v", err)
+	}
+}
+
+// TestPackedPipelineRecoversGroups is the packed-mode sanity check: b=4
+// estimation is lossy, but on well-separated read groups it must recover
+// the same partition as the exact full-width run.
+func TestPackedPipelineRecoversGroups(t *testing.T) {
+	reads, truth := makeReads(4, 6, 200, 0.01, 6)
+	for _, bits := range []int{1, 4} {
+		t.Run(fmt.Sprintf("b=%d", bits), func(t *testing.T) {
+			opt := Options{
+				K: 8, NumHashes: 64, Theta: 0.4, Mode: GreedyMode,
+				Seed: 6, Cluster: smallCluster(), StoreBits: bits,
+			}
+			res, err := Run(reads, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc, err := metrics.WeightedAccuracy(res.Assignments, truth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc < 99.9 {
+				t.Fatalf("b=%d packed clustering accuracy %.2f%%", bits, acc)
+			}
+			if res.NumClusters() != 4 {
+				t.Fatalf("b=%d: %d clusters, want 4", bits, res.NumClusters())
+			}
+			// Packed mode reports the compressed footprint.
+			fullBytes := int64(len(reads) * opt.NumHashes * 8)
+			if got := res.Counters["sigstore.resident_bytes"]; got*8 > fullBytes {
+				t.Fatalf("packed resident bytes %d not ≥8x below full %d", got, fullBytes)
+			}
+		})
+	}
+}

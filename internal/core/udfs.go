@@ -18,6 +18,7 @@ import (
 	"github.com/metagenomics/mrmcminh/internal/metrics"
 	"github.com/metagenomics/mrmcminh/internal/minhash"
 	"github.com/metagenomics/mrmcminh/internal/pig"
+	"github.com/metagenomics/mrmcminh/internal/sigstore"
 )
 
 // CostFactorSimilarityRow scales the modelled cost of computing one row of
@@ -419,7 +420,7 @@ func greedyClusteringUDF(_ *pig.Context, args []pig.Value) (pig.Value, error) {
 // 'hierarchical' with the link policy) runs per component. Labels are
 // renumbered by first appearance in bag order, reproducing the exact UDFs'
 // label sequence whenever every ≥cutoff pair band-collides.
-func lshClusteringUDF(_ *pig.Context, args []pig.Value) (pig.Value, error) {
+func lshClusteringUDF(ctx *pig.Context, args []pig.Value) (pig.Value, error) {
 	if len(args) != 5 {
 		return nil, fmt.Errorf("LSHClustering expects (bag, numhash, cutoff, mode, link), got %d args", len(args))
 	}
@@ -460,7 +461,11 @@ func lshClusteringUDF(_ *pig.Context, args []pig.Value) (pig.Value, error) {
 		}
 		ids[i] = id
 	}
-	comps, err := lshComponents(sigs, numhash, cutoff)
+	src, err := clusterSource(ctx, numhash, sigs)
+	if err != nil {
+		return nil, err
+	}
+	comps, err := lshComponentsSource(src, numhash, cutoff)
 	if err != nil {
 		return nil, err
 	}
@@ -468,27 +473,23 @@ func lshClusteringUDF(_ *pig.Context, args []pig.Value) (pig.Value, error) {
 	for i, c := range comps {
 		members[c] = append(members[c], i) // ascending by construction
 	}
-	est := minhash.SetOverlap
 	local := make([]int, len(sigs))
 	for _, idxs := range members {
 		var labels metrics.Clustering
 		if len(idxs) == 1 {
 			labels = metrics.Clustering{0}
 		} else {
-			sub := make([]minhash.Signature, len(idxs))
-			for i, m := range idxs {
-				sub[i] = sigs[m]
-			}
+			sub := cluster.Subset(src, idxs)
 			var err error
 			switch mode {
 			case "greedy":
-				labels, err = cluster.Greedy(sub, cluster.GreedyOptions{Threshold: cutoff, Estimator: est})
+				labels, err = cluster.GreedySource(sub, cluster.GreedyOptions{Threshold: cutoff, Estimator: minhash.SetOverlap})
 			case "hierarchical":
 				link, lerr := cluster.ParseLinkage(linkName)
 				if lerr != nil {
 					return nil, lerr
 				}
-				labels, err = cluster.HierarchicalFromSignatures(sub, est, link, cutoff)
+				labels, err = cluster.HierarchicalFromSource(sub, link, cutoff)
 			default:
 				return nil, fmt.Errorf("LSHClustering: unknown mode %q (want greedy or hierarchical)", mode)
 			}
@@ -517,39 +518,92 @@ func lshClusteringUDF(_ *pig.Context, args []pig.Value) (pig.Value, error) {
 	return out, nil
 }
 
-// lshComponents finds the connected components of the verified θ-edge
-// graph with an in-process banded index and union-find (the UDF-local
-// analogue of the pipeline's bands/verify/CC MapReduce stages).
-func lshComponents(sigs []minhash.Signature, numhash int, cutoff float64) ([]int, error) {
-	geo := cluster.GeometryFor(numhash, cutoff)
-	idx, err := minhash.NewBandIndex(geo.Bands, geo.Rows)
+// clusterSource routes a UDF's signature bag onto the configured backing:
+// a sharded signature store (ctx.StoreBits >= 0 — 0 full-width, 1..16
+// b-bit packed) whose view the clustering borrows from, or legacy
+// per-call slices (-1).
+func clusterSource(ctx *pig.Context, numhash int, sigs []minhash.Signature) (cluster.SigSource, error) {
+	bits := 0
+	if ctx != nil {
+		bits = ctx.StoreBits
+	}
+	if bits < 0 {
+		return cluster.NewSliceSource(sigs, minhash.SetOverlap), nil
+	}
+	st, err := sigstore.New(sigstore.Config{NumHashes: numhash, Bits: bits})
 	if err != nil {
 		return nil, err
 	}
-	prep := minhash.PrepareAll(sigs)
+	if err := st.PutBatch(0, sigs); err != nil {
+		return nil, err
+	}
+	view, err := st.View(minhash.SetOverlap)
+	if err != nil {
+		return nil, err
+	}
+	return view, nil
+}
+
+// lshComponentsSource finds the connected components of the verified
+// θ-edge graph with an in-process banded index and union-find (the
+// UDF-local analogue of the pipeline's bands/verify/CC MapReduce stages).
+// It replicates the BandIndex candidate discipline over the source —
+// per-band buckets in insertion order, generation-stamped dedup — so the
+// edge set matches the slice-based index exactly.
+func lshComponentsSource(src cluster.SigSource, numhash int, cutoff float64) ([]int, error) {
+	geo := cluster.GeometryFor(numhash, cutoff)
+	buckets := make([]map[uint64][]int, geo.Bands)
+	for b := range buckets {
+		buckets[b] = make(map[uint64][]int)
+	}
 	var edges []cluster.Edge
 	var candBuf []int
 	var added []int // band-index id -> read index (empty sigs stay out)
-	for i, sig := range sigs {
-		if sig.Empty() {
+	var marks []uint32
+	var gen uint32
+	validated := false
+	for i := 0; i < src.Len(); i++ {
+		if src.Empty(i) {
 			continue // no features: singleton component, like the exact path
 		}
-		if err := geo.Validate(len(sig)); err != nil {
-			return nil, err
+		if !validated {
+			if err := geo.Validate(src.NumHashes()); err != nil {
+				return nil, err
+			}
+			validated = true
 		}
-		candBuf = idx.CandidatesInto(sig, candBuf[:0])
+		gen++
+		if gen == 0 { // generation counter wrapped: invalidate stale marks
+			for k := range marks {
+				marks[k] = 0
+			}
+			gen = 1
+		}
+		candBuf = candBuf[:0]
+		for b := 0; b < geo.Bands; b++ {
+			h := src.BandHash(i, b, geo.Rows)
+			for _, id := range buckets[b][h] {
+				if marks[id] != gen {
+					marks[id] = gen
+					candBuf = append(candBuf, id)
+				}
+			}
+		}
 		for _, cand := range candBuf {
 			j := added[cand]
-			if minhash.SetOverlap.SimilarityPrepared(prep[j], prep[i]) >= cutoff {
+			if src.Similarity(j, i) >= cutoff {
 				edges = append(edges, cluster.Edge{U: j, V: i})
 			}
 		}
-		if _, err := idx.Add(sig); err != nil {
-			return nil, err
-		}
+		id := len(added)
 		added = append(added, i)
+		marks = append(marks, 0)
+		for b := 0; b < geo.Bands; b++ {
+			h := src.BandHash(i, b, geo.Rows)
+			buckets[b][h] = append(buckets[b][h], id)
+		}
 	}
-	return cluster.ConnectedComponents(len(sigs), edges)
+	return cluster.ConnectedComponents(src.Len(), edges)
 }
 
 // sortTuplesByFirstField orders a bag by its first field's formatted value

@@ -1,0 +1,191 @@
+package minhash
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// boundaryLengths returns signature lengths that exercise the cross-word
+// packing cases for width b: slots ending exactly on a 64-bit word
+// boundary, one slot past it (the spill path in CompactInto), and a few
+// fixed lengths including the paper's n=100.
+func boundaryLengths(b int) []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(n int) {
+		if n >= 1 && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, words := range []int{1, 2, 3} {
+		exact := words * 64 / b // last slot ends at or before the boundary
+		add(exact - 1)
+		add(exact)
+		add(exact + 1)
+	}
+	add(1)
+	add(100)
+	return out
+}
+
+// TestCompactSlotRoundTripEveryB packs random signatures for every b in
+// [1,16] at word-boundary-straddling lengths and checks each slot reads
+// back the low b bits of its source value — including slots that span
+// two words.
+func TestCompactSlotRoundTripEveryB(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for b := 1; b <= 16; b++ {
+		mask := uint64(1)<<b - 1
+		for _, n := range boundaryLengths(b) {
+			sig := make(Signature, n)
+			for i := range sig {
+				sig[i] = rng.Uint64()
+			}
+			c, err := Compact(sig, b)
+			if err != nil {
+				t.Fatalf("b=%d n=%d: %v", b, n, err)
+			}
+			if c.N != n || c.B != b {
+				t.Fatalf("b=%d n=%d: geometry %d/%d", b, n, c.N, c.B)
+			}
+			if want := PackedWords(n, b); len(c.Words) != want {
+				t.Fatalf("b=%d n=%d: %d words, want %d", b, n, len(c.Words), want)
+			}
+			for i, v := range sig {
+				if got := c.slot(i); got != v&mask {
+					t.Fatalf("b=%d n=%d slot %d = %x, want %x", b, n, i, got, v&mask)
+				}
+			}
+		}
+	}
+}
+
+// TestCompactIntoMatchesCompact pins the zero-copy CompactInto/Borrow pair
+// to the allocating Compact for every width at boundary lengths.
+func TestCompactIntoMatchesCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for b := 1; b <= 16; b++ {
+		for _, n := range boundaryLengths(b) {
+			sig := make(Signature, n)
+			for i := range sig {
+				sig[i] = rng.Uint64()
+			}
+			want, err := Compact(sig, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]uint64, PackedWords(n, b))
+			CompactInto(dst, sig, b)
+			got := Borrow(b, n, dst, sig.Empty())
+			if got.N != want.N || got.B != want.B || got.Empty() != want.Empty() {
+				t.Fatalf("b=%d n=%d: geometry mismatch", b, n)
+			}
+			for w := range dst {
+				if dst[w] != want.Words[w] {
+					t.Fatalf("b=%d n=%d word %d: %x vs %x", b, n, w, dst[w], want.Words[w])
+				}
+			}
+		}
+	}
+}
+
+// TestMatchCountSWARMatchesSlotLoop cross-checks the word-parallel match
+// counter (power-of-two b) and the slot-loop fallback against a direct
+// per-slot reference for every b in [1,16].
+func TestMatchCountSWARMatchesSlotLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for b := 1; b <= 16; b++ {
+		for _, n := range boundaryLengths(b) {
+			x := make(Signature, n)
+			y := make(Signature, n)
+			for i := range x {
+				x[i] = rng.Uint64()
+				// Force a healthy fraction of matching slots so both
+				// branches of the counter are exercised.
+				if rng.Intn(2) == 0 {
+					y[i] = x[i]
+				} else {
+					y[i] = rng.Uint64()
+				}
+			}
+			cx, _ := Compact(x, b)
+			cy, _ := Compact(y, b)
+			ref := 0
+			for i := 0; i < n; i++ {
+				if cx.slot(i) == cy.slot(i) {
+					ref++
+				}
+			}
+			if got := cx.MatchCount(cy); got != ref {
+				t.Fatalf("b=%d n=%d: MatchCount %d, want %d", b, n, got, ref)
+			}
+		}
+	}
+}
+
+// TestSimilarityFastMatchesSimilarity pins the error-free fast path to the
+// validating Similarity for every width.
+func TestSimilarityFastMatchesSimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for b := 1; b <= 16; b++ {
+		n := 100
+		x := make(Signature, n)
+		y := make(Signature, n)
+		for i := range x {
+			x[i] = rng.Uint64()
+			if rng.Intn(3) == 0 {
+				y[i] = x[i]
+			} else {
+				y[i] = rng.Uint64()
+			}
+		}
+		cx, _ := Compact(x, b)
+		cy, _ := Compact(y, b)
+		want, err := cx.Similarity(cy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cx.SimilarityFast(cy); got != want {
+			t.Fatalf("b=%d: SimilarityFast %v vs Similarity %v", b, got, want)
+		}
+	}
+}
+
+// TestBBitEstimatorConvergesEveryB sweeps every b in [1,16] (covering the
+// SWAR widths and the slot-loop fallback alike) and checks the
+// collision-corrected estimate (match - 2^-b)/(1 - 2^-b) converges to the
+// exact signature Jaccard as computed on the unpacked signatures.
+func TestBBitEstimatorConvergesEveryB(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	const n = 4096 // large signature to shrink the b-bit sampling error
+	for _, wantJ := range []float64{0.25, 0.8} {
+		x := make(Signature, n)
+		y := make(Signature, n)
+		for i := range x {
+			x[i] = rng.Uint64() % (1 << 61)
+			if rng.Float64() < wantJ {
+				y[i] = x[i]
+			} else {
+				y[i] = rng.Uint64() % (1 << 61)
+			}
+		}
+		exact := MatchedPositions.Similarity(x, y)
+		for b := 1; b <= 16; b++ {
+			cx, _ := Compact(x, b)
+			cy, _ := Compact(y, b)
+			got, err := cx.Similarity(cy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tol := 0.05
+			if b == 1 {
+				tol = 0.08 // highest-variance setting
+			}
+			if math.Abs(got-exact) > tol {
+				t.Errorf("b=%d: estimate %.4f vs exact %.4f", b, got, exact)
+			}
+		}
+	}
+}

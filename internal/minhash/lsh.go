@@ -103,16 +103,23 @@ const (
 func BandHash(sig Signature, band, rows int) uint64 {
 	h := uint64(fnvOffset64)
 	for r := band * rows; r < band*rows+rows; r++ {
-		v := sig[r]
-		h = (h ^ (v & 0xff)) * fnvPrime64
-		h = (h ^ (v >> 8 & 0xff)) * fnvPrime64
-		h = (h ^ (v >> 16 & 0xff)) * fnvPrime64
-		h = (h ^ (v >> 24 & 0xff)) * fnvPrime64
-		h = (h ^ (v >> 32 & 0xff)) * fnvPrime64
-		h = (h ^ (v >> 40 & 0xff)) * fnvPrime64
-		h = (h ^ (v >> 48 & 0xff)) * fnvPrime64
-		h = (h ^ (v >> 56)) * fnvPrime64
+		h = fnvMix64(h, sig[r])
 	}
+	return h
+}
+
+// fnvMix64 folds the 8 little-endian bytes of v into the running FNV-1a
+// state h. Shared by the full-signature BandHash and the b-bit packed
+// BBitSignature.BandHash so both produce stdlib-fnv-compatible hashes.
+func fnvMix64(h, v uint64) uint64 {
+	h = (h ^ (v & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 8 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 16 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 24 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 32 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 40 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 48 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 56)) * fnvPrime64
 	return h
 }
 

@@ -126,6 +126,12 @@ type Context struct {
 	// a matching entry restores the checkpointed bytes, a mismatched one
 	// is a typed error (requires Checkpoint).
 	Resume bool
+	// StoreBits selects the signature backing of the clustering UDFs:
+	// 0 (the default) borrows rows from a sharded full-width signature
+	// store, -1 uses legacy per-call slices, 1..16 packs signatures to b
+	// bits per slot (lossy b-bit minwise estimation). Script output is
+	// bit-identical for 0 and -1.
+	StoreBits int
 }
 
 // Param returns a parameter value or an error naming the hole.

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Perf-regression gate: reruns the full benchmark recorder
+# (scripts/bench_json.sh) into a scratch directory and compares each
+# fresh file against its committed baseline with cmd/benchgate. The
+# build fails on a >30% ns/op regression or on any allocs/op increase
+# in a kernel whose baseline is zero-alloc. This runs as a BLOCKING CI
+# step — unlike the old continue-on-error bench smoke, a perf
+# regression now stops the merge.
+#
+#   ./scripts/bench_gate.sh
+#
+# Knobs:
+#   BENCH_GATE_MAX_REGRESS  ns/op slack for the micro-benchmarks
+#                           (default 0.30 = +30%)
+#   BENCH_GATE_MAX_REGRESS_MACRO
+#                           slack for the 1-shot LSH macro runs, which
+#                           are far noisier (default 1.00 = +100%)
+#   BENCHTIME               per-benchmark budget (default 0.5s)
+#
+# After an intentional perf change, refresh the baselines in the same
+# commit: ./scripts/bench_json.sh && git add BENCH_*.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+macro_regress="${BENCH_GATE_MAX_REGRESS_MACRO:-1.00}"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/benchgate" ./cmd/benchgate
+
+./scripts/bench_json.sh \
+  "$tmp/kernels.json" "$tmp/shuffle.json" "$tmp/lsh.json" "$tmp/sigstore.json"
+
+status=0
+gate() { # gate <baseline> <current> [extra benchgate args...]
+  local baseline=$1 current=$2
+  shift 2
+  if "$tmp/benchgate" -baseline "$baseline" -current "$current" "$@"; then
+    :
+  else
+    status=1
+  fi
+}
+
+gate BENCH_kernels.json "$tmp/kernels.json"
+gate BENCH_shuffle.json "$tmp/shuffle.json"
+gate BENCH_sigstore.json "$tmp/sigstore.json"
+# The LSH scaling file holds single-shot whole-pipeline timings; gate
+# them loosely — the sub-quadratic *shape* is asserted by the scale
+# tests, this only catches order-of-magnitude blowups.
+gate BENCH_lsh.json "$tmp/lsh.json" -max-regress "$macro_regress"
+
+# Keep the fresh results around for the CI artifact upload.
+for f in kernels shuffle lsh sigstore; do
+  cp "$tmp/$f.json" "BENCH_${f}.current.json"
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "bench_gate: FAILED — see FAIL lines above" >&2
+  echo "bench_gate: if the regression is intentional, refresh baselines with ./scripts/bench_json.sh" >&2
+  exit 1
+fi
+echo "bench_gate: all baselines hold"

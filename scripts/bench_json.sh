@@ -3,14 +3,18 @@
 # internal/cluster (similarity / sketch / matrix build) plus the shuffle
 # benchmarks of internal/mapreduce (in-memory vs external spill-and-merge,
 # reducer sort before/after, k-way merge) with allocation stats, and
-# writes them as BENCH_kernels.json and BENCH_shuffle.json, plus the
+# writes them as BENCH_kernels.json and BENCH_shuffle.json; the
 # end-to-end scaling comparison of the exact all-pairs pipeline vs the
-# LSH+connected-components pipeline (internal/core) as BENCH_lsh.json, so
-# the perf trajectory of the hot paths — and the sub-quadratic claim —
-# is recorded per commit. CI uploads all three files as workflow
-# artifacts; run locally with:
+# LSH+connected-components pipeline (internal/core) as BENCH_lsh.json;
+# and the sharded signature-store benchmarks (put throughput, borrowed
+# similarity/band-hash latency, snapshot cost, full vs b-bit packed) as
+# BENCH_sigstore.json. Custom metrics reported via b.ReportMetric — e.g.
+# the store's resident "sig-bytes/read" — land in each benchmark's
+# "extra" object. scripts/bench_gate.sh replays this script and fails CI
+# when the hot paths regress vs the committed baselines; run locally
+# with:
 #
-#   ./scripts/bench_json.sh [kernels.json [shuffle.json [lsh.json]]]
+#   ./scripts/bench_json.sh [kernels.json [shuffle.json [lsh.json [sigstore.json]]]]
 #
 # BENCHTIME overrides the per-benchmark budget (default 0.5s). The LSH
 # scaling runs are whole-pipeline macro-benchmarks and always run once
@@ -22,13 +26,17 @@ cd "$(dirname "$0")/.."
 kernels_out="${1:-BENCH_kernels.json}"
 shuffle_out="${2:-BENCH_shuffle.json}"
 lsh_out="${3:-BENCH_lsh.json}"
+sigstore_out="${4:-BENCH_sigstore.json}"
 benchtime="${BENCHTIME:-0.5s}"
 
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 # to_json converts `go test -bench` output on stdin into the benchmark
-# JSON schema shared by both output files.
+# JSON schema shared by all output files. The standard columns become
+# ns_per_op / bytes_per_op / allocs_per_op (null when the run did not
+# report them); any other `value unit` pair — custom b.ReportMetric
+# units like "sig-bytes/read" — is collected into an "extra" object.
 to_json() {
   awk -v commit="$commit" -v stamp="$stamp" '
 BEGIN {
@@ -40,17 +48,25 @@ BEGIN {
   sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix (absent at 1)
   sub(/^Benchmark/, "", name)
   iters = $2
-  ns = ""; bytes = "null"; allocs = "null"
+  ns = ""; bytes = "null"; allocs = "null"; extra = ""
   for (i = 3; i < NF; i++) {
-    if ($(i+1) == "ns/op")     ns = $i
-    if ($(i+1) == "B/op")      bytes = $i
-    if ($(i+1) == "allocs/op") allocs = $i
+    unit = $(i+1)
+    if (unit == "ns/op")          { ns = $i; i++ }
+    else if (unit == "B/op")      { bytes = $i; i++ }
+    else if (unit == "allocs/op") { allocs = $i; i++ }
+    else if (unit ~ /\//) {       # custom ReportMetric unit, e.g. sig-bytes/read
+      if (extra != "") extra = extra ", "
+      extra = extra sprintf("\"%s\": %s", unit, $i)
+      i++
+    }
   }
   if (ns == "") next
   if (!first) printf ",\n"
   first = 0
-  printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+  printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
     name, iters, ns, bytes, allocs
+  if (extra != "") printf ", \"extra\": {%s}", extra
+  printf "}"
 }
 END { print "\n  ]\n}" }
 '
@@ -70,3 +86,8 @@ go test -run '^$' -bench 'ClusterExactScale|ClusterLSHCCScale' \
   -benchtime 1x -timeout 30m ./internal/core/ |
   to_json > "$lsh_out"
 echo "wrote $lsh_out"
+
+go test -run '^$' -bench 'SigStore' \
+  -benchmem -benchtime "$benchtime" ./internal/sigstore/ |
+  to_json > "$sigstore_out"
+echo "wrote $sigstore_out"
