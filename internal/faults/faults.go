@@ -108,6 +108,35 @@ func (e *DriverCrashError) Error() string {
 	return fmt.Sprintf("faults: driver crashed after stage %q (checkpoint committed; re-run with resume)", e.Stage)
 }
 
+// ServiceCrash kills the always-on clustering daemon (mrmcminhd) once it
+// has acknowledged at least AfterReads reads — the mid-ingest process
+// death the service's WAL + snapshot recovery exists for. Acknowledged
+// reads are WAL-durable by definition, so a restarted server with
+// --resume must recover every one of them bit-identically; the crash is
+// a one-time process death (a resumed run that starts past the
+// threshold does not re-fire it — the daemon consults the site only for
+// reads it acknowledges itself).
+type ServiceCrash struct {
+	// AfterReads is the acknowledged-read count that triggers the kill
+	// (>= 1).
+	AfterReads int
+}
+
+// ServiceCrashError is returned by the serving state when an injected
+// ServiceCrash fires. Every read acknowledged so far is WAL-durable;
+// restarting the daemon with --resume recovers all of them. Use
+// errors.As to detect it.
+type ServiceCrashError struct {
+	// Acked is how many reads had been acknowledged when the service
+	// died.
+	Acked int64
+}
+
+// Error formats the crash.
+func (e *ServiceCrashError) Error() string {
+	return fmt.Sprintf("faults: service crashed after %d acknowledged reads (WAL is durable; restart with --resume)", e.Acked)
+}
+
 // Plan declares everything an Injector will break. The zero Plan injects
 // nothing; all probabilistic sites are derived deterministically from
 // Seed.
@@ -136,6 +165,9 @@ type Plan struct {
 	BlockErrors []BlockError
 	// DriverCrashes kill the pipeline driver after named stages commit.
 	DriverCrashes []DriverCrash
+	// ServiceCrashes kill the serving daemon after acknowledged-read
+	// thresholds.
+	ServiceCrashes []ServiceCrash
 }
 
 // Empty reports whether the plan injects nothing.
@@ -143,7 +175,7 @@ func (p Plan) Empty() bool {
 	return p.TaskCrashProb == 0 && len(p.Crashes) == 0 &&
 		len(p.NodeDeaths) == 0 && len(p.SlowNodes) == 0 &&
 		p.BlockReadErrorProb == 0 && len(p.BlockErrors) == 0 &&
-		len(p.DriverCrashes) == 0
+		len(p.DriverCrashes) == 0 && len(p.ServiceCrashes) == 0
 }
 
 // Validate rejects malformed plans.
@@ -167,6 +199,11 @@ func (p Plan) Validate() error {
 	for _, dc := range p.DriverCrashes {
 		if dc.AfterStage == "" {
 			return fmt.Errorf("faults: driver crash needs a stage name")
+		}
+	}
+	for _, sc := range p.ServiceCrashes {
+		if sc.AfterReads < 1 {
+			return fmt.Errorf("faults: service crash threshold %d must be >= 1", sc.AfterReads)
 		}
 	}
 	return nil
@@ -288,6 +325,23 @@ func (in *Injector) DriverCrashAfter(stage string) bool {
 	for _, dc := range in.plan.DriverCrashes {
 		if dc.AfterStage == stage {
 			in.count("driver.crash")
+			return true
+		}
+	}
+	return false
+}
+
+// ServiceCrashNow reports whether the plan kills the serving daemon
+// given that acked reads have been acknowledged so far. The daemon's
+// committer calls this after each acknowledged batch; the site fires
+// once (the model is a one-time process death).
+func (in *Injector) ServiceCrashNow(acked int64) bool {
+	if in == nil {
+		return false
+	}
+	for _, sc := range in.plan.ServiceCrashes {
+		if acked >= int64(sc.AfterReads) {
+			in.count("service.crash")
 			return true
 		}
 	}

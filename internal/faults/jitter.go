@@ -1,0 +1,44 @@
+package faults
+
+import "time"
+
+// Jitter derives a deterministic delay in [0, max) from (seed, site, n)
+// through the same FNV-1a+SplitMix64 site hash that drives every other
+// injection decision. Retry loops add it to their base backoff so
+// concurrent retries de-synchronize (no thundering herd) while staying a
+// pure function of the site identity: a chaos run with one seed sleeps
+// the same virtual (or wall) intervals on every execution, independent
+// of goroutine scheduling. n is the attempt or round ordinal.
+func Jitter(seed int64, site string, n int, limit time.Duration) time.Duration {
+	if limit <= 0 {
+		return 0
+	}
+	return time.Duration(unit(siteHash(seed, "jitter", site, "", n, 0)) * float64(limit))
+}
+
+// Backoff computes the delay before retry attempt n (1-based: n is how
+// many failures have occurred) of the named site: base*factor^(n-1)
+// capped at ceiling (0 = uncapped), plus a deterministic seeded jitter
+// of up to half the capped value. Both the engine's task-retry
+// scheduling and the ingest source retries route through this one
+// function, so faulted timings everywhere are scheduling-independent.
+func Backoff(seed int64, site string, n int, base time.Duration, factor float64, ceiling time.Duration) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	d := float64(base)
+	for i := 1; i < n; i++ {
+		d *= factor
+		if ceiling > 0 && d >= float64(ceiling) {
+			break
+		}
+	}
+	if ceiling > 0 && d > float64(ceiling) {
+		d = float64(ceiling)
+	}
+	backoff := time.Duration(d)
+	return backoff + Jitter(seed, site, n, backoff/2)
+}

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	const limit = time.Second
+	for n := 1; n <= 64; n++ {
+		a := Jitter(7, "ingest/file", n, limit)
+		b := Jitter(7, "ingest/file", n, limit)
+		if a != b {
+			t.Fatalf("attempt %d: jitter not deterministic: %v vs %v", n, a, b)
+		}
+		if a < 0 || a >= limit {
+			t.Fatalf("attempt %d: jitter %v out of [0,%v)", n, a, limit)
+		}
+	}
+}
+
+func TestJitterVariesAcrossSites(t *testing.T) {
+	seen := make(map[time.Duration]bool)
+	sites := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, s := range sites {
+		seen[Jitter(1, s, 1, time.Hour)] = true
+	}
+	if len(seen) < len(sites)-1 {
+		t.Fatalf("jitter nearly constant across sites: %d distinct of %d", len(seen), len(sites))
+	}
+	if Jitter(1, "a", 1, time.Hour) == Jitter(2, "a", 1, time.Hour) {
+		t.Fatal("jitter ignores the seed")
+	}
+}
+
+func TestJitterZeroLimit(t *testing.T) {
+	if d := Jitter(1, "x", 1, 0); d != 0 {
+		t.Fatalf("zero limit gave %v", d)
+	}
+	if d := Jitter(1, "x", 1, -time.Second); d != 0 {
+		t.Fatalf("negative limit gave %v", d)
+	}
+}
+
+func TestBackoffGrowsThenCaps(t *testing.T) {
+	const (
+		base    = 100 * time.Millisecond
+		ceiling = time.Second
+	)
+	prev := time.Duration(0)
+	for n := 1; n <= 12; n++ {
+		d := Backoff(3, "src", n, base, 2, ceiling)
+		// Jitter adds at most half the capped base, so the hard bound is
+		// ceiling * 1.5.
+		if d > ceiling+ceiling/2 {
+			t.Fatalf("attempt %d: backoff %v exceeds jittered ceiling %v", n, d, ceiling+ceiling/2)
+		}
+		if d < base {
+			t.Fatalf("attempt %d: backoff %v below base %v", n, d, base)
+		}
+		if n <= 3 && d <= prev/2 { // exponential region keeps growing
+			t.Fatalf("attempt %d: backoff %v did not grow from %v", n, d, prev)
+		}
+		prev = d
+	}
+	// Determinism across calls.
+	if Backoff(3, "src", 5, base, 2, ceiling) != Backoff(3, "src", 5, base, 2, ceiling) {
+		t.Fatal("Backoff not deterministic")
+	}
+}
+
+func TestBackoffUncapped(t *testing.T) {
+	base := 10 * time.Millisecond
+	d := Backoff(1, "s", 10, base, 2, 0)
+	if d < base*512 {
+		t.Fatalf("uncapped backoff %v below 2^9*base", d)
+	}
+}
+
+func TestServiceCrashPlanParseAndFire(t *testing.T) {
+	plan, err := ParsePlan("service-crash:after=100", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.ServiceCrashes) != 1 || plan.ServiceCrashes[0].AfterReads != 100 {
+		t.Fatalf("parsed %+v", plan.ServiceCrashes)
+	}
+	if plan.Empty() {
+		t.Fatal("plan with a service crash reported Empty")
+	}
+	if got := plan.String(); got != "service-crash:after=100" {
+		t.Fatalf("String() = %q", got)
+	}
+	in := MustNew(plan)
+	if in.ServiceCrashNow(99) {
+		t.Fatal("fired below threshold")
+	}
+	if !in.ServiceCrashNow(100) {
+		t.Fatal("did not fire at threshold")
+	}
+	if !in.ServiceCrashNow(250) {
+		t.Fatal("did not fire above threshold")
+	}
+	if in.Counts()["service.crash"] != 2 {
+		t.Fatalf("counts %v", in.Counts())
+	}
+	var nilInj *Injector
+	if nilInj.ServiceCrashNow(1 << 30) {
+		t.Fatal("nil injector fired")
+	}
+}
+
+func TestServiceCrashValidate(t *testing.T) {
+	if _, err := ParsePlan("service-crash:after=0", 1); err == nil {
+		t.Fatal("threshold 0 accepted")
+	}
+	if _, err := ParsePlan("service-crash:after=x", 1); err == nil {
+		t.Fatal("non-numeric threshold accepted")
+	}
+}

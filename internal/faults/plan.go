@@ -33,6 +33,7 @@ func ChaosPlan(seed int64) Plan {
 //	dfsfail=P                 single replica-read failure probability
 //	blockerr=PREFIX:NODE:N    N reads of PREFIX via NODE fail ("*" wildcards)
 //	driver-crash:after=STAGE  kill the driver after STAGE commits its checkpoint
+//	service-crash:after=N     kill the serving daemon after N acknowledged reads
 //
 // The seed parameter feeds every probabilistic site; an empty spec returns
 // the zero plan.
@@ -83,6 +84,10 @@ func ParsePlan(spec string, seed int64) (Plan, error) {
 			plan.BlockErrors = append(plan.BlockErrors, be)
 		case "driver-crash:after":
 			plan.DriverCrashes = append(plan.DriverCrashes, DriverCrash{AfterStage: val})
+		case "service-crash:after":
+			var n int
+			n, err = strconv.Atoi(val)
+			plan.ServiceCrashes = append(plan.ServiceCrashes, ServiceCrash{AfterReads: n})
 		default:
 			return Plan{}, fmt.Errorf("faults: unknown directive %q", key)
 		}
@@ -125,6 +130,9 @@ func (p Plan) String() string {
 	}
 	for _, dc := range p.DriverCrashes {
 		parts = append(parts, fmt.Sprintf("driver-crash:after=%s", dc.AfterStage))
+	}
+	for _, sc := range p.ServiceCrashes {
+		parts = append(parts, fmt.Sprintf("service-crash:after=%d", sc.AfterReads))
 	}
 	if len(parts) == 0 {
 		return "none"

@@ -1,0 +1,92 @@
+package ingest
+
+import "time"
+
+// BreakerConfig tunes the consecutive-failure circuit breaker guarding
+// a source. Zero values take defaults; Threshold < 0 disables it.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the circuit
+	// (default 5).
+	Threshold int
+	// Cooldown is how long the circuit stays open before a half-open
+	// probe is allowed through (default 2s).
+	Cooldown time.Duration
+	// Now is the clock, injectable for tests (default time.Now).
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a closed → open → half-open circuit breaker. It is not
+// goroutine-safe: the Ingester drives it from its single reader
+// goroutine.
+type Breaker struct {
+	cfg      BreakerConfig
+	failures int
+	openedAt time.Time
+	open     bool
+}
+
+// NewBreaker builds a breaker; nil-safe methods mean callers never
+// branch on "breaker disabled".
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	if cfg.Threshold < 0 {
+		return nil
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Blocked reports how much longer the circuit stays open; 0 means a
+// call may proceed (closed, or half-open probe).
+func (b *Breaker) Blocked() time.Duration {
+	if b == nil || !b.open {
+		return 0
+	}
+	remaining := b.cfg.Cooldown - b.cfg.Now().Sub(b.openedAt)
+	if remaining <= 0 {
+		return 0 // half-open: let one probe through
+	}
+	return remaining
+}
+
+// Success records a successful call, closing the circuit.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.failures = 0
+	b.open = false
+}
+
+// Failure records a failed call; it returns true when this failure
+// trips the circuit open (including a failed half-open probe, which
+// restarts the cooldown).
+func (b *Breaker) Failure() bool {
+	if b == nil {
+		return false
+	}
+	if b.open {
+		// Failed half-open probe: restart the cooldown.
+		b.openedAt = b.cfg.Now()
+		return true
+	}
+	b.failures++
+	if b.failures >= b.cfg.Threshold {
+		b.open = true
+		b.openedAt = b.cfg.Now()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually advanced clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second, Now: clk.now})
+	if b.Blocked() != 0 {
+		t.Fatal("fresh breaker blocked")
+	}
+	if b.Failure() || b.Failure() {
+		t.Fatal("tripped below threshold")
+	}
+	if !b.Failure() {
+		t.Fatal("did not trip at threshold")
+	}
+	if got := b.Blocked(); got != time.Second {
+		t.Fatalf("Blocked() = %v, want full cooldown", got)
+	}
+	clk.advance(600 * time.Millisecond)
+	if got := b.Blocked(); got != 400*time.Millisecond {
+		t.Fatalf("Blocked() = %v, want 400ms", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Second, Now: clk.now})
+	b.Failure()
+	b.Failure() // opens
+	clk.advance(time.Second)
+	if b.Blocked() != 0 {
+		t.Fatal("cooldown elapsed but still blocked (half-open probe denied)")
+	}
+	// Probe fails: cooldown restarts immediately.
+	if !b.Failure() {
+		t.Fatal("failed probe did not report a trip")
+	}
+	if b.Blocked() != time.Second {
+		t.Fatalf("failed probe did not restart cooldown: %v", b.Blocked())
+	}
+	// Next probe succeeds: circuit closes.
+	clk.advance(time.Second)
+	if b.Blocked() != 0 {
+		t.Fatal("second probe denied")
+	}
+	b.Success()
+	if b.Blocked() != 0 {
+		t.Fatal("closed breaker blocked")
+	}
+	// After closing, failures count from zero again.
+	if b.Failure() {
+		t.Fatal("single failure after close tripped a threshold-2 breaker")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: -1})
+	if b != nil {
+		t.Fatal("Threshold<0 should return a nil (disabled) breaker")
+	}
+	// nil-safe methods
+	if b.Blocked() != 0 || b.Failure() {
+		t.Fatal("nil breaker not inert")
+	}
+	b.Success()
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	cfg := BreakerConfig{}.withDefaults()
+	if cfg.Threshold != 5 || cfg.Cooldown != 2*time.Second || cfg.Now == nil {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}

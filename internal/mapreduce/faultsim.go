@@ -155,9 +155,13 @@ func (s *faultSim) runPhase(phase string, tasks []*simTask) error {
 					Attempts: t.attempt, Reason: att.Reason,
 				}
 			}
-			// Exponential virtual-time backoff before the retry.
-			backoff := float64(s.pol.Backoff) * math.Pow(s.pol.BackoffFactor, float64(t.crashes-1))
-			t.readyAt = att.End + time.Duration(backoff)
+			// Capped exponential virtual-time backoff before the retry,
+			// de-synchronized by seeded jitter (a pure function of the
+			// retry site, so faulted makespans stay reproducible).
+			backoff := s.pol.BackoffFor(t.crashes)
+			site := fmt.Sprintf("retry/%s/%s/%d", s.jobName, phase, t.id)
+			t.readyAt = att.End + backoff +
+				faults.Jitter(s.inj.Plan().Seed, site, t.crashes, backoff/2)
 		case AttemptKilled:
 			// Node loss is not the task's fault: retry immediately.
 			t.readyAt = att.End

@@ -291,6 +291,12 @@ type RetryPolicy struct {
 	Backoff time.Duration
 	// BackoffFactor defaults to 2.
 	BackoffFactor float64
+	// MaxBackoff caps the exponential growth: no single retry delay
+	// exceeds it, however many attempts have failed. 0 means
+	// DefaultRetryPolicy.MaxBackoff; a task that legitimately needs
+	// uncapped growth can set it to a huge value, but an uncapped
+	// default turns a long retry tail into hours of virtual idle time.
+	MaxBackoff time.Duration
 	// BlacklistAfter is how many crashed attempts on one node blacklist it
 	// for the rest of the job (Hadoop's mapred.max.tracker.failures). The
 	// last usable node is never blacklisted.
@@ -302,6 +308,7 @@ var DefaultRetryPolicy = RetryPolicy{
 	MaxAttempts:    4,
 	Backoff:        3 * time.Second,
 	BackoffFactor:  2,
+	MaxBackoff:     60 * time.Second,
 	BlacklistAfter: 3,
 }
 
@@ -316,10 +323,34 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.BackoffFactor < 1 {
 		p.BackoffFactor = DefaultRetryPolicy.BackoffFactor
 	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultRetryPolicy.MaxBackoff
+	}
 	if p.BlacklistAfter <= 0 {
 		p.BlacklistAfter = DefaultRetryPolicy.BlacklistAfter
 	}
 	return p
+}
+
+// BackoffFor returns the capped exponential delay before the retry that
+// follows the n-th crashed attempt (n >= 1): Backoff*BackoffFactor^(n-1),
+// never exceeding MaxBackoff (when set). Seeded jitter is layered on top
+// by the fault simulator via faults.Backoff.
+func (p RetryPolicy) BackoffFor(n int) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	d := float64(p.Backoff)
+	for i := 1; i < n; i++ {
+		d *= p.BackoffFactor
+		if p.MaxBackoff > 0 && d >= float64(p.MaxBackoff) {
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > float64(p.MaxBackoff) {
+		d = float64(p.MaxBackoff)
+	}
+	return time.Duration(d)
 }
 
 // TaskFailedError reports a job killed because one task exhausted its

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets is the fixed bucket count of a LatencyHistogram: 4
+// log2 sub-buckets per octave from 1µs to ~1.2h covers any request the
+// serving layer answers, at ≤ ~19% relative quantile error.
+const (
+	latencyBuckets   = 4 * 32
+	latencyBase      = float64(time.Microsecond)
+	latencyPerOctave = 4
+)
+
+// LatencyHistogram is a concurrent log-scale latency histogram: Observe
+// is one atomic add (safe from any number of request goroutines), and
+// quantiles are read without stopping writers. The zero value is ready
+// to use.
+type LatencyHistogram struct {
+	counts [latencyBuckets]atomic.Int64
+	total  atomic.Int64
+}
+
+// bucketOf maps a duration to its log-scale bucket.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	idx := int(math.Floor(latencyPerOctave * math.Log2(float64(d)/latencyBase)))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= latencyBuckets {
+		return latencyBuckets - 1
+	}
+	return idx
+}
+
+// boundOf returns the upper bound of a bucket, the value quantiles
+// report.
+func boundOf(idx int) time.Duration {
+	return time.Duration(latencyBase * math.Pow(2, float64(idx+1)/latencyPerOctave))
+}
+
+// Observe records one latency sample.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	h.counts[bucketOf(d)].Add(1)
+	h.total.Add(1)
+}
+
+// Count returns the number of samples recorded.
+func (h *LatencyHistogram) Count() int64 { return h.total.Load() }
+
+// Quantile returns the approximate q-quantile (0 ≤ q ≤ 1) as the upper
+// bound of the bucket holding that rank, or 0 with no samples. The
+// log-scale buckets bound the relative error at 2^(1/4)-1 ≈ 19%.
+func (h *LatencyHistogram) Quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < latencyBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return boundOf(i)
+		}
+	}
+	return boundOf(latencyBuckets - 1)
+}

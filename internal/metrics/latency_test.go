@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistogramQuantiles(t *testing.T) {
+	var h LatencyHistogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report 0")
+	}
+	// 90 fast samples, 10 slow ones: p50 must sit near 1ms, p99 near
+	// 100ms, each within the documented ~19% bucket error.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d", got)
+	}
+	checkNear := func(name string, got, want time.Duration) {
+		t.Helper()
+		lo := time.Duration(float64(want) * 0.95)
+		hi := time.Duration(float64(want) * 1.25)
+		if got < lo || got > hi {
+			t.Fatalf("%s = %v, want within [%v,%v]", name, got, lo, hi)
+		}
+	}
+	checkNear("p50", h.Quantile(0.50), time.Millisecond)
+	checkNear("p99", h.Quantile(0.99), 100*time.Millisecond)
+	if h.Quantile(0) == 0 || h.Quantile(1) < h.Quantile(0.5) {
+		t.Fatal("extreme quantiles inconsistent")
+	}
+}
+
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	var h LatencyHistogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i+1) * time.Microsecond)
+				_ = h.Quantile(0.99) // readers race with writers safely
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestLatencyHistogramClamps(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(-time.Second)   // below range -> first bucket
+	h.Observe(10 * time.Hour) // above range -> last bucket
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Quantile(1) < time.Hour {
+		t.Fatalf("overflow sample quantile = %v", h.Quantile(1))
+	}
+}

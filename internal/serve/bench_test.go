@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/metagenomics/mrmcminh/internal/minhash"
+)
+
+// The serving benchmarks drive the full HTTP request path — JSON decode,
+// inline sketch, bounded-queue commit with WAL group fsync, JSON encode —
+// under sustained concurrent load, and report tail latency via the
+// server's own histogram: p50-ns/req and p99-ns/req land in the
+// BENCH_serving.json "extra" object that cmd/benchgate gates in CI.
+
+func benchParams() Params {
+	return Params{
+		K: 12, NumHashes: 64, Seed: 3, Canonical: true,
+		Theta: 0.4, Estimator: minhash.SetOverlap, UseLSH: true,
+	}
+}
+
+// benchCorpus builds batched JSON submit bodies over a synthetic
+// community (mutated copies of base sequences).
+func benchCorpus(p Params, batches, batchSize int) [][]byte {
+	const bases = "ACGT"
+	rng := uint64(99)
+	next := func(m uint64) uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return (rng >> 33) % m
+	}
+	base := make([][]byte, 20)
+	for b := range base {
+		base[b] = make([]byte, 200)
+		for j := range base[b] {
+			base[b][j] = bases[next(4)]
+		}
+	}
+	out := make([][]byte, batches)
+	n := 0
+	for i := range out {
+		req := submitRequest{Reads: make([]submitRead, batchSize)}
+		for j := range req.Reads {
+			seq := append([]byte(nil), base[next(uint64(len(base)))]...)
+			for m := uint64(0); m < 6; m++ {
+				seq[next(uint64(len(seq)))] = bases[next(4)]
+			}
+			req.Reads[j] = submitRead{ID: fmt.Sprintf("bench-%07d", n), Seq: string(seq)}
+			n++
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = body
+	}
+	return out
+}
+
+// BenchmarkServingSustainedLoad: 8 concurrent clients submitting
+// 32-read batches against a live server. ns/op is per submitted batch;
+// the extra metrics carry the end-to-end latency distribution.
+func BenchmarkServingSustainedLoad(b *testing.B) {
+	st, err := Open(b.TempDir(), benchParams(), false, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	srv, err := NewServer(st, ServerConfig{MaxInFlight: 256, QueueDepth: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hts := httptest.NewServer(srv.Mux())
+	defer hts.Close()
+
+	const batchSize = 32
+	bodies := benchCorpus(benchParams(), b.N, batchSize)
+	client := hts.Client()
+	client.Transport = &http.Transport{MaxIdleConnsPerHost: 16}
+
+	const workers = 8
+	work := make(chan []byte, workers)
+	var wg sync.WaitGroup
+	var failures int
+	var mu sync.Mutex
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for body := range work {
+				resp, err := client.Post(hts.URL+"/v1/reads", "application/json", bytes.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, body := range bodies {
+		work <- body
+	}
+	close(work)
+	wg.Wait()
+	b.StopTimer()
+	if failures > 0 {
+		b.Fatalf("%d failed submits", failures)
+	}
+	b.ReportMetric(float64(srv.Latency.Quantile(0.50)), "p50-ns/req")
+	b.ReportMetric(float64(srv.Latency.Quantile(0.99)), "p99-ns/req")
+	elapsed := b.Elapsed()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*batchSize)/elapsed.Seconds(), "reads/sec")
+	}
+}
+
+// BenchmarkServingQuery measures the read-path latency (assignment
+// lookup by ID) against a populated server.
+func BenchmarkServingQuery(b *testing.B) {
+	p := benchParams()
+	st, err := Open(b.TempDir(), p, false, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+
+	srv, err := NewServer(st, ServerConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hts := httptest.NewServer(srv.Mux())
+	defer hts.Close()
+	const n = 2000
+	bodies := benchCorpus(p, n/100, 100)
+	client := hts.Client()
+	for _, body := range bodies {
+		resp, err := client.Post(hts.URL+"/v1/reads", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench-%07d", i%n)
+		resp, err := client.Get(hts.URL + "/v1/reads/" + id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("lookup %s: %d", id, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,589 @@
+// Package serve is the always-on clustering service state: an
+// incrementally clustered corpus of minwise signatures that survives
+// crashes. Reads are acknowledged only after their WAL record is
+// fsynced; assignments are a pure function of commit order (the online
+// Algorithm 1 over the signature store), so recovery — restore the last
+// content-addressed snapshot, replay the WAL tail, re-run the
+// incremental clusterer over dense IDs 0..n-1 — reproduces every
+// acknowledged assignment bit-identically.
+package serve
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/metagenomics/mrmcminh/internal/cluster"
+	"github.com/metagenomics/mrmcminh/internal/faults"
+	"github.com/metagenomics/mrmcminh/internal/ingest"
+	"github.com/metagenomics/mrmcminh/internal/minhash"
+	"github.com/metagenomics/mrmcminh/internal/sigstore"
+)
+
+// Params fixes the sketch and clustering geometry of a service. Every
+// parameter changes assignments, so the manifest records all of them
+// and Open refuses to resume a data directory written under different
+// params — silently different clusters would be worse than an error.
+type Params struct {
+	K         int               `json:"k"`
+	NumHashes int               `json:"num_hashes"`
+	Seed      int64             `json:"seed"`
+	Canonical bool              `json:"canonical"`
+	Theta     float64           `json:"theta"`
+	Bits      int               `json:"bits"`
+	Estimator minhash.Estimator `json:"estimator"`
+	UseLSH    bool              `json:"use_lsh"`
+}
+
+// Validate rejects unusable geometry before any state is created.
+func (p Params) Validate() error {
+	if p.K < 1 || p.K > 31 {
+		return fmt.Errorf("serve: k must be in [1,31], got %d", p.K)
+	}
+	if p.NumHashes < 1 {
+		return fmt.Errorf("serve: num hashes must be >= 1, got %d", p.NumHashes)
+	}
+	if p.Theta < 0 || p.Theta > 1 {
+		return fmt.Errorf("serve: theta must be in [0,1], got %v", p.Theta)
+	}
+	if p.Bits < 0 || p.Bits > 16 {
+		return fmt.Errorf("serve: bits must be in [0,16], got %d", p.Bits)
+	}
+	return nil
+}
+
+const (
+	manifestFile = "MANIFEST.json"
+	walFile      = "wal.log"
+)
+
+// manifest is the checkpoint directory's metadata: which snapshot blob
+// is current, its content hash, and the params that produced it.
+type manifest struct {
+	Params   Params `json:"params"`
+	Snapshot string `json:"snapshot"` // file name, content-addressed
+	SHA256   string `json:"sha256"`   // hex of the snapshot blob
+	Reads    int    `json:"reads"`
+}
+
+// Ack is the commit result for one submitted read.
+type Ack struct {
+	ID        string `json:"id"`
+	Read      int    `json:"read"`    // dense ID
+	Cluster   int    `json:"cluster"` // assigned label
+	Duplicate bool   `json:"duplicate,omitempty"`
+}
+
+// State is the clustered corpus plus its durability machinery. Commit
+// methods must be called from a single goroutine (the server's
+// committer); query methods are safe from any goroutine.
+type State struct {
+	params Params
+	dir    string
+	store  *sigstore.Store
+	live   *liveSource
+	inc    *cluster.IncrementalSource
+	wal    *WAL
+	inj    *faults.Injector
+
+	mu           sync.RWMutex // guards assign, clusterSizes, repDense
+	assign       []int32      // dense id -> cluster label
+	clusterSizes []int32
+	repDense     []uint32 // label -> dense id of the representative
+
+	acked      atomic.Int64 // reads durably acknowledged (excludes duplicates)
+	duplicates atomic.Int64
+	recovered  int64 // reads present at Open (snapshot + WAL tail)
+}
+
+// liveSource is the growing cluster.SigSource the incremental clusterer
+// runs over: append-only borrowed rows from the store. Only the
+// committer goroutine touches it — the clusterer and the appender are
+// the same single thread, so no locking (unlike the store underneath,
+// which stays safe for concurrent snapshot readers).
+type liveSource struct {
+	est       minhash.Estimator
+	bits      int
+	numHashes int
+	sigs      []minhash.Signature
+	prep      []minhash.Prepared
+	packed    []minhash.BBitSignature
+}
+
+func (l *liveSource) Len() int {
+	if l.bits == 0 {
+		return len(l.sigs)
+	}
+	return len(l.packed)
+}
+func (l *liveSource) NumHashes() int { return l.numHashes }
+func (l *liveSource) Empty(i int) bool {
+	if l.bits == 0 {
+		return l.sigs[i].Empty()
+	}
+	return l.packed[i].Empty()
+}
+func (l *liveSource) Similarity(i, j int) float64 {
+	if l.bits == 0 {
+		return l.est.SimilarityPrepared(l.prep[i], l.prep[j])
+	}
+	return l.packed[i].SimilarityFast(l.packed[j])
+}
+func (l *liveSource) BandHash(i, band, rows int) uint64 {
+	if l.bits == 0 {
+		return minhash.BandHash(l.sigs[i], band, rows)
+	}
+	return l.packed[i].BandHash(band, rows)
+}
+
+// appendRow borrows the store row for dense and appends it as source
+// element dense (rows arrive in dense order, so indices align).
+func (l *liveSource) appendRow(st *sigstore.Store, dense uint32) error {
+	if l.bits == 0 {
+		sigs, err := st.GetInto(l.sigs, []uint32{dense})
+		if err != nil {
+			return err
+		}
+		l.sigs = sigs
+		l.prep = append(l.prep, minhash.Prepare(sigs[len(sigs)-1]))
+		return nil
+	}
+	packed, err := st.PackedInto(l.packed, []uint32{dense})
+	if err != nil {
+		return err
+	}
+	l.packed = packed
+	return nil
+}
+
+// Open builds (or recovers) service state in dir. A directory that
+// already holds a manifest or WAL refuses to open without resume —
+// silently restarting fresh over durable data would discard
+// acknowledged reads. inj may be nil (no fault injection).
+func Open(dir string, p Params, resume bool, inj *faults.Injector) (*State, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	manifestPath := filepath.Join(dir, manifestFile)
+	walPath := filepath.Join(dir, walFile)
+	hasManifest := fileExists(manifestPath)
+	walInfo, walErr := os.Stat(walPath)
+	hasWAL := walErr == nil && walInfo.Size() > 0
+	if (hasManifest || hasWAL) && !resume {
+		return nil, fmt.Errorf("serve: data dir %s holds previous state; pass resume to recover it", dir)
+	}
+
+	st := &State{params: p, dir: dir, inj: inj}
+	if hasManifest {
+		m, store, err := loadCheckpoint(dir, manifestPath)
+		if err != nil {
+			return nil, err
+		}
+		if m.Params != p {
+			return nil, fmt.Errorf("serve: data dir params %+v differ from requested %+v", m.Params, p)
+		}
+		st.store = store
+	} else {
+		store, err := sigstore.New(sigstore.Config{NumHashes: p.NumHashes, Bits: p.Bits})
+		if err != nil {
+			return nil, err
+		}
+		st.store = store
+	}
+
+	st.live = &liveSource{est: p.Estimator, bits: p.Bits, numHashes: p.NumHashes}
+	opt := cluster.GreedyOptions{Threshold: p.Theta, Estimator: p.Estimator}
+	var geom *cluster.LSHOptions
+	if p.UseLSH {
+		g := cluster.GeometryFor(p.NumHashes, p.Theta)
+		geom = &g
+	}
+	inc, err := cluster.NewIncrementalSource(st.live, opt, geom)
+	if err != nil {
+		return nil, err
+	}
+	st.inc = inc
+
+	// Replay the snapshot corpus: assignments are a pure function of
+	// dense order, so re-running the incremental clusterer over
+	// 0..Len-1 reproduces every label the pre-crash process handed out.
+	for dense := 0; dense < st.store.Len(); dense++ {
+		if err := st.applyDense(uint32(dense)); err != nil {
+			return nil, fmt.Errorf("serve: replaying snapshot read %d: %w", dense, err)
+		}
+	}
+
+	// Replay the WAL tail: reads acked after the snapshot. Replay is
+	// idempotent — a record whose ID the snapshot already holds (the
+	// crash window between WAL sync and snapshot write) is skipped.
+	durable, _, err := ReplayWAL(walPath, func(id string, sig minhash.Signature) error {
+		if _, ok := st.store.Translator().Lookup(id); ok {
+			return nil
+		}
+		_, err := st.applyRead(id, sig)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: WAL replay: %w", err)
+	}
+	st.recovered = int64(st.store.Len())
+
+	wal, err := OpenWAL(walPath, durable)
+	if err != nil {
+		return nil, err
+	}
+	st.wal = wal
+
+	// Fold the replayed WAL tail into a fresh snapshot so the next
+	// crash replays a short log, and so a recovered directory is
+	// immediately re-crash-safe.
+	if hasWAL || hasManifest {
+		if err := st.Checkpoint(); err != nil {
+			st.wal.Close()
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// loadCheckpoint reads the manifest and its snapshot, verifying the
+// content hash before restoring.
+func loadCheckpoint(dir, manifestPath string) (*manifest, *sigstore.Store, error) {
+	raw, err := os.ReadFile(manifestPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, nil, fmt.Errorf("serve: manifest: %w", err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, m.Snapshot))
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: snapshot: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	if hex.EncodeToString(sum[:]) != m.SHA256 {
+		return nil, nil, fmt.Errorf("serve: snapshot %s does not match manifest hash", m.Snapshot)
+	}
+	store, err := sigstore.Restore(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	if store.Len() != m.Reads {
+		return nil, nil, fmt.Errorf("serve: snapshot holds %d reads, manifest says %d", store.Len(), m.Reads)
+	}
+	return &m, store, nil
+}
+
+// applyRead translates, stores, and clusters one new read. Callers must
+// have established the ID is not yet stored.
+func (st *State) applyRead(id string, sig minhash.Signature) (int, error) {
+	dense := st.store.Translator().Translate(id)
+	if int(dense) != st.live.Len() {
+		return 0, fmt.Errorf("serve: dense ID %d out of commit order (have %d rows)", dense, st.live.Len())
+	}
+	if err := st.store.Put(dense, sig); err != nil {
+		return 0, err
+	}
+	return st.applyDenseClustered(dense)
+}
+
+// applyDense clusters an already-stored read (recovery replay).
+func (st *State) applyDense(dense uint32) error {
+	_, err := st.applyDenseClustered(dense)
+	return err
+}
+
+func (st *State) applyDenseClustered(dense uint32) (int, error) {
+	if err := st.live.appendRow(st.store, dense); err != nil {
+		return 0, err
+	}
+	label, err := st.inc.Add(int(dense))
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	st.assign = append(st.assign, int32(label))
+	if label == len(st.clusterSizes) {
+		st.clusterSizes = append(st.clusterSizes, 0)
+		st.repDense = append(st.repDense, dense)
+	}
+	st.clusterSizes[label]++
+	st.mu.Unlock()
+	return label, nil
+}
+
+// CommitBatch durably commits a batch: WAL-append every new read, one
+// group fsync, then apply to the store and clusterer. Acks are returned
+// in input order; duplicates (by read ID) resolve to the existing
+// assignment without re-logging. After the batch is acknowledged the
+// fault injector may demand a service crash — the chaos harness's kill
+// point — returned as *faults.ServiceCrashError.
+func (st *State) CommitBatch(batch []ingest.Sketched) ([]Ack, error) {
+	inBatch := make(map[string]bool, len(batch))
+	var fresh int64
+	for _, s := range batch {
+		if _, ok := st.store.Translator().Lookup(s.ID); ok || inBatch[s.ID] {
+			continue
+		}
+		inBatch[s.ID] = true
+		if err := st.wal.Append(s.ID, s.Sig); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.wal.Sync(); err != nil {
+		return nil, fmt.Errorf("serve: WAL sync: %w", err)
+	}
+	// Everything below the sync barrier is recoverable: if we crash
+	// mid-apply, Open replays these records idempotently.
+	acks := make([]Ack, len(batch))
+	for i, s := range batch {
+		if dense, ok := st.store.Translator().Lookup(s.ID); ok {
+			st.duplicates.Add(1)
+			st.mu.RLock()
+			label := st.assign[dense]
+			st.mu.RUnlock()
+			acks[i] = Ack{ID: s.ID, Read: int(dense), Cluster: int(label), Duplicate: true}
+			continue
+		}
+		label, err := st.applyRead(s.ID, s.Sig)
+		if err != nil {
+			return nil, err
+		}
+		dense, _ := st.store.Translator().Lookup(s.ID)
+		acks[i] = Ack{ID: s.ID, Read: int(dense), Cluster: label}
+		fresh++
+	}
+	total := st.acked.Add(fresh)
+	if st.inj.ServiceCrashNow(total + st.recovered) {
+		return acks, &faults.ServiceCrashError{Acked: total + st.recovered}
+	}
+	return acks, nil
+}
+
+// Checkpoint writes a content-addressed snapshot plus manifest (each
+// via tmp+rename) and truncates the WAL the snapshot absorbed. The
+// store must be quiescent — the committer calls this, never a request
+// goroutine.
+func (st *State) Checkpoint() error {
+	blob := st.store.Snapshot()
+	sum := sha256.Sum256(blob)
+	name := fmt.Sprintf("snapshot-%s.bin", hex.EncodeToString(sum[:8]))
+	if err := writeFileAtomic(filepath.Join(st.dir, name), blob); err != nil {
+		return err
+	}
+	m := manifest{Params: st.params, Snapshot: name, SHA256: hex.EncodeToString(sum[:]), Reads: st.store.Len()}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(st.dir, manifestFile), raw); err != nil {
+		return err
+	}
+	if err := st.wal.Truncate(); err != nil {
+		return err
+	}
+	// Old snapshots are unreferenced once the manifest points elsewhere.
+	entries, err := os.ReadDir(st.dir)
+	if err == nil {
+		for _, e := range entries {
+			n := e.Name()
+			if strings.HasPrefix(n, "snapshot-") && strings.HasSuffix(n, ".bin") && n != name {
+				os.Remove(filepath.Join(st.dir, n))
+			}
+		}
+	}
+	return nil
+}
+
+// writeFileAtomic writes via a temp file + rename so readers never see
+// a torn file, then fsyncs the data before the rename publishes it.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Close flushes and closes the WAL. It does NOT checkpoint — callers
+// decide whether this shutdown is graceful (Checkpoint first) or a
+// simulated crash (don't).
+func (st *State) Close() error { return st.wal.Close() }
+
+// ---- queries (safe from any goroutine) ----
+
+// ReadInfo answers "where did my read go".
+type ReadInfo struct {
+	ID             string `json:"id"`
+	Read           int    `json:"read"`
+	Cluster        int    `json:"cluster"`
+	Representative string `json:"representative"`
+}
+
+// Assignment looks a read up by external ID.
+func (st *State) Assignment(id string) (ReadInfo, bool) {
+	dense, ok := st.store.Translator().Lookup(id)
+	if !ok {
+		return ReadInfo{}, false
+	}
+	st.mu.RLock()
+	if int(dense) >= len(st.assign) {
+		// Translated but not yet applied (mid-commit): not visible yet.
+		st.mu.RUnlock()
+		return ReadInfo{}, false
+	}
+	label := st.assign[dense]
+	rep := st.repDense[label]
+	st.mu.RUnlock()
+	repID, _ := st.store.Translator().Key(rep)
+	return ReadInfo{ID: id, Read: int(dense), Cluster: int(label), Representative: repID}, true
+}
+
+// ClusterInfo summarizes one cluster.
+type ClusterInfo struct {
+	Cluster        int    `json:"cluster"`
+	Size           int    `json:"size"`
+	Representative string `json:"representative"`
+}
+
+// Cluster returns one cluster's summary.
+func (st *State) Cluster(label int) (ClusterInfo, bool) {
+	st.mu.RLock()
+	if label < 0 || label >= len(st.clusterSizes) {
+		st.mu.RUnlock()
+		return ClusterInfo{}, false
+	}
+	size := st.clusterSizes[label]
+	rep := st.repDense[label]
+	st.mu.RUnlock()
+	repID, _ := st.store.Translator().Key(rep)
+	return ClusterInfo{Cluster: label, Size: int(size), Representative: repID}, true
+}
+
+// Clusters lists every cluster, largest first (ties by label).
+func (st *State) Clusters() []ClusterInfo {
+	st.mu.RLock()
+	sizes := append([]int32(nil), st.clusterSizes...)
+	reps := append([]uint32(nil), st.repDense...)
+	st.mu.RUnlock()
+	out := make([]ClusterInfo, len(sizes))
+	for i := range out {
+		repID, _ := st.store.Translator().Key(reps[i])
+		out[i] = ClusterInfo{Cluster: i, Size: int(sizes[i]), Representative: repID}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Size > out[b].Size })
+	return out
+}
+
+// Diversity summarizes the community structure the paper's pipeline
+// reports: cluster count as species richness plus Shannon and Simpson
+// indices over cluster sizes.
+type Diversity struct {
+	Reads      int     `json:"reads"`
+	Clusters   int     `json:"clusters"`
+	Singletons int     `json:"singletons"`
+	Largest    int     `json:"largest"`
+	Shannon    float64 `json:"shannon"`
+	Simpson    float64 `json:"simpson"`
+}
+
+// Diversity computes the current summary.
+func (st *State) Diversity() Diversity {
+	st.mu.RLock()
+	sizes := append([]int32(nil), st.clusterSizes...)
+	reads := len(st.assign)
+	st.mu.RUnlock()
+	d := Diversity{Reads: reads, Clusters: len(sizes)}
+	if reads == 0 {
+		return d
+	}
+	n := float64(reads)
+	for _, s := range sizes {
+		if s == 1 {
+			d.Singletons++
+		}
+		if int(s) > d.Largest {
+			d.Largest = int(s)
+		}
+		p := float64(s) / n
+		d.Shannon -= p * math.Log(p)
+		d.Simpson += p * p
+	}
+	return d
+}
+
+// Stats is the service-level counter snapshot.
+type Stats struct {
+	Reads      int   `json:"reads"`
+	Clusters   int   `json:"clusters"`
+	Acked      int64 `json:"acked"`
+	Recovered  int64 `json:"recovered"`
+	Duplicates int64 `json:"duplicates"`
+	SigBytes   int64 `json:"sig_bytes"`
+}
+
+// Stats snapshots the counters.
+func (st *State) Stats() Stats {
+	st.mu.RLock()
+	reads := len(st.assign)
+	clusters := len(st.clusterSizes)
+	st.mu.RUnlock()
+	return Stats{
+		Reads:      reads,
+		Clusters:   clusters,
+		Acked:      st.acked.Load(),
+		Recovered:  st.recovered,
+		Duplicates: st.duplicates.Load(),
+		SigBytes:   st.store.ResidentBytes(),
+	}
+}
+
+// DumpTSV writes "read_id<TAB>cluster" rows in dense (commit) order —
+// the artifact the chaos harness compares across crash and recovery.
+func (st *State) DumpTSV(w io.Writer) error {
+	st.mu.RLock()
+	assign := append([]int32(nil), st.assign...)
+	st.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	for dense, label := range assign {
+		id, ok := st.store.Translator().Key(uint32(dense))
+		if !ok {
+			return fmt.Errorf("serve: dense ID %d has no key", dense)
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\n", id, label); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"github.com/metagenomics/mrmcminh/internal/minhash"
+)
+
+// The write-ahead log makes "acknowledged" mean "durable": a read is
+// acked to its submitter only after its WAL record has been fsynced.
+// Each record frames the read's string ID and FULL signature words —
+// even when the store packs to b bits, so replay re-Puts through the
+// exact ingest path and packs identically:
+//
+//	u32 payloadLen | u32 crc32(IEEE, payload) | payload
+//	payload: u16 idLen | id | u32 nWords | nWords × u64 LE
+//
+// A crash can tear the final record; ReplayWAL stops at the first frame
+// whose length or checksum fails and reports the durable prefix length,
+// which OpenWAL truncates to. Records never change once written, so the
+// log is append-only and replay is idempotent (the state layer dedups
+// by read ID).
+
+const walMaxRecord = 1 << 24 // 16 MiB: far above any real id+signature
+
+// WAL is a group-commit write-ahead log. Append buffers records in
+// memory; Sync writes and fsyncs the buffer — one fsync per committed
+// batch, not per read. Not goroutine-safe: the state's single committer
+// owns it.
+type WAL struct {
+	f   *os.File
+	buf []byte
+}
+
+// OpenWAL opens (creating if needed) the log at path, truncating any
+// torn tail past durable.
+func OpenWAL(path string, durable int64) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(durable); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &WAL{f: f}, nil
+}
+
+// Append buffers one record; it hits disk at the next Sync.
+func (w *WAL) Append(id string, sig minhash.Signature) error {
+	if len(id) > 1<<16-1 {
+		return fmt.Errorf("serve: read id %d bytes exceeds 64 KiB", len(id))
+	}
+	payloadLen := 2 + len(id) + 4 + 8*len(sig)
+	if payloadLen > walMaxRecord {
+		return fmt.Errorf("serve: WAL record %d bytes exceeds limit", payloadLen)
+	}
+	payload := make([]byte, 0, payloadLen)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(id)))
+	payload = append(payload, id...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(sig)))
+	for _, wd := range sig {
+		payload = binary.LittleEndian.AppendUint64(payload, wd)
+	}
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(payloadLen))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc32.ChecksumIEEE(payload))
+	w.buf = append(w.buf, payload...)
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs: the group-commit barrier
+// after which every appended read is durable.
+func (w *WAL) Sync() error {
+	if len(w.buf) > 0 {
+		if _, err := w.f.Write(w.buf); err != nil {
+			return err
+		}
+		w.buf = w.buf[:0]
+	}
+	return w.f.Sync()
+}
+
+// Truncate discards the log contents (after a snapshot has absorbed
+// them) and fsyncs.
+func (w *WAL) Truncate() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	return w.f.Sync()
+}
+
+// Close flushes and closes the log.
+func (w *WAL) Close() error {
+	if err := w.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// ReplayWAL streams every intact record at path to fn and returns the
+// durable prefix length (bytes before the first torn or missing frame).
+// A missing file is an empty log. Replay stops early on a fn error.
+func ReplayWAL(path string, fn func(id string, sig minhash.Signature) error) (int64, int, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	var (
+		off     int64
+		records int
+	)
+	for int(off)+8 <= len(data) {
+		payloadLen := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		end := off + 8 + int64(payloadLen)
+		if payloadLen > walMaxRecord || end > int64(len(data)) {
+			break // torn tail: length written but payload incomplete
+		}
+		payload := data[off+8 : end]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // torn or corrupt tail
+		}
+		id, sig, err := decodeWALPayload(payload)
+		if err != nil {
+			break
+		}
+		if err := fn(id, sig); err != nil {
+			return off, records, err
+		}
+		off = end
+		records++
+	}
+	return off, records, nil
+}
+
+func decodeWALPayload(p []byte) (string, minhash.Signature, error) {
+	if len(p) < 2 {
+		return "", nil, fmt.Errorf("serve: WAL payload too short")
+	}
+	idLen := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < idLen+4 {
+		return "", nil, fmt.Errorf("serve: WAL payload truncated")
+	}
+	id := string(p[:idLen])
+	p = p[idLen:]
+	nWords := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if len(p) != 8*nWords {
+		return "", nil, fmt.Errorf("serve: WAL signature truncated")
+	}
+	sig := make(minhash.Signature, nWords)
+	for i := range sig {
+		sig[i] = binary.LittleEndian.Uint64(p[8*i:])
+	}
+	return id, sig, nil
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/metagenomics/mrmcminh/internal/minhash"
+)
+
+func testSig(i, n int) minhash.Signature {
+	sig := make(minhash.Signature, n)
+	state := uint64(i)*0x9e3779b97f4a7c15 + 1
+	for j := range sig {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		sig[j] = state
+	}
+	return sig
+}
+
+type walEntry struct {
+	id  string
+	sig minhash.Signature
+}
+
+func replayAll(t *testing.T, path string) ([]walEntry, int64) {
+	t.Helper()
+	var got []walEntry
+	durable, n, err := ReplayWAL(path, func(id string, sig minhash.Signature) error {
+		got = append(got, walEntry{id, append(minhash.Signature(nil), sig...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(got) {
+		t.Fatalf("record count %d vs %d entries", n, len(got))
+	}
+	return got, durable
+}
+
+func TestWALRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := w.Append(fmt.Sprintf("read-%d", i), testSig(i, 16)); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 6 {
+			if err := w.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil { // Close syncs the remainder
+		t.Fatal(err)
+	}
+	got, _ := replayAll(t, path)
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i, e := range got {
+		if e.id != fmt.Sprintf("read-%d", i) {
+			t.Fatalf("record %d id = %q", i, e.id)
+		}
+		want := testSig(i, 16)
+		for j := range want {
+			if e.sig[j] != want[j] {
+				t.Fatalf("record %d word %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append(fmt.Sprintf("r%d", i), testSig(i, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: keep all of record 0-3 plus half of record 4.
+	_, fullDurable := replayAll(t, path)
+	if fullDurable != int64(len(intact)) {
+		t.Fatalf("durable %d != file size %d on intact log", fullDurable, len(intact))
+	}
+	torn := intact[:len(intact)-9]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, durable := replayAll(t, path)
+	if len(got) != 4 {
+		t.Fatalf("torn log replayed %d records, want 4", len(got))
+	}
+	// Reopen at the durable prefix: the torn bytes are gone and appends
+	// continue from a clean boundary.
+	w2, err := OpenWAL(path, durable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append("r4b", testSig(99, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = replayAll(t, path)
+	if len(got) != 5 || got[4].id != "r4b" {
+		t.Fatalf("after truncate+append: %d records, last %q", len(got), got[len(got)-1].id)
+	}
+}
+
+func TestWALCorruptRecordStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(fmt.Sprintf("r%d", i), testSig(i, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xff // flip a bit in the last record's payload
+	os.WriteFile(path, data, 0o644)
+	got, _ := replayAll(t, path)
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records past corruption, want 2", len(got))
+	}
+}
+
+func TestWALTruncateDiscards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append("a", testSig(1, 4))
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	w.Append("b", testSig(2, 4))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := replayAll(t, path)
+	if len(got) != 1 || got[0].id != "b" {
+		t.Fatalf("after truncate: %+v", got)
+	}
+}
+
+func TestWALMissingFileIsEmpty(t *testing.T) {
+	got, durable := replayAll(t, filepath.Join(t.TempDir(), "none.log"))
+	if len(got) != 0 || durable != 0 {
+		t.Fatalf("missing file: %d records, durable %d", len(got), durable)
+	}
+}

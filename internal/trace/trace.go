@@ -40,6 +40,8 @@ const (
 	KindAbort
 	KindSpill
 	KindMerge
+	KindIngest
+	KindSnapshot
 )
 
 // String names the kind for exports.
@@ -73,6 +75,10 @@ func (k Kind) String() string {
 		return "spill"
 	case KindMerge:
 		return "merge"
+	case KindIngest:
+		return "ingest"
+	case KindSnapshot:
+		return "snapshot"
 	default:
 		return "unknown"
 	}

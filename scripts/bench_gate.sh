@@ -15,6 +15,11 @@
 #   BENCH_GATE_MAX_REGRESS_MACRO
 #                           slack for the 1-shot LSH macro runs, which
 #                           are far noisier (default 1.00 = +100%)
+#   BENCH_GATE_MAX_REGRESS_SERVING
+#                           slack for the serving benchmarks, which go
+#                           through real HTTP + WAL fsyncs and inherit
+#                           the runner's disk/scheduler jitter
+#                           (default 1.00 = +100%)
 #   BENCHTIME               per-benchmark budget (default 0.5s)
 #
 # After an intentional perf change, refresh the baselines in the same
@@ -23,6 +28,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 macro_regress="${BENCH_GATE_MAX_REGRESS_MACRO:-1.00}"
+serving_regress="${BENCH_GATE_MAX_REGRESS_SERVING:-1.00}"
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -30,7 +36,8 @@ trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/benchgate" ./cmd/benchgate
 
 ./scripts/bench_json.sh \
-  "$tmp/kernels.json" "$tmp/shuffle.json" "$tmp/lsh.json" "$tmp/sigstore.json"
+  "$tmp/kernels.json" "$tmp/shuffle.json" "$tmp/lsh.json" "$tmp/sigstore.json" \
+  "$tmp/serving.json"
 
 status=0
 gate() { # gate <baseline> <current> [extra benchgate args...]
@@ -50,9 +57,13 @@ gate BENCH_sigstore.json "$tmp/sigstore.json"
 # them loosely — the sub-quadratic *shape* is asserted by the scale
 # tests, this only catches order-of-magnitude blowups.
 gate BENCH_lsh.json "$tmp/lsh.json" -max-regress "$macro_regress"
+# The serving path crosses the HTTP stack and fsyncs the WAL on every
+# commit, so per-op time is dominated by I/O jitter; gate loosely to
+# catch real throughput collapses, not disk noise.
+gate BENCH_serving.json "$tmp/serving.json" -max-regress "$serving_regress"
 
 # Keep the fresh results around for the CI artifact upload.
-for f in kernels shuffle lsh sigstore; do
+for f in kernels shuffle lsh sigstore serving; do
   cp "$tmp/$f.json" "BENCH_${f}.current.json"
 done
 

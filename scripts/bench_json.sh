@@ -8,25 +8,34 @@
 # LSH+connected-components pipeline (internal/core) as BENCH_lsh.json;
 # and the sharded signature-store benchmarks (put throughput, borrowed
 # similarity/band-hash latency, snapshot cost, full vs b-bit packed) as
-# BENCH_sigstore.json. Custom metrics reported via b.ReportMetric — e.g.
-# the store's resident "sig-bytes/read" — land in each benchmark's
-# "extra" object. scripts/bench_gate.sh replays this script and fails CI
-# when the hot paths regress vs the committed baselines; run locally
-# with:
+# BENCH_sigstore.json; and the serving benchmarks of internal/serve —
+# sustained concurrent HTTP submit load through the full WAL-acked
+# commit path, plus assignment-query latency — as BENCH_serving.json.
+# Custom metrics reported via b.ReportMetric — e.g. the store's resident
+# "sig-bytes/read" or the server's "p99-ns/req" tail latency — land in
+# each benchmark's "extra" object. scripts/bench_gate.sh replays this
+# script and fails CI when the hot paths regress vs the committed
+# baselines; run locally with:
 #
-#   ./scripts/bench_json.sh [kernels.json [shuffle.json [lsh.json [sigstore.json]]]]
+#   ./scripts/bench_json.sh [kernels.json [shuffle.json [lsh.json [sigstore.json [serving.json]]]]]
 #
 # BENCHTIME overrides the per-benchmark budget (default 0.5s). The LSH
 # scaling runs are whole-pipeline macro-benchmarks and always run once
 # each (-benchtime 1x): quadrupling N should ~16x the exact path but
-# stay well under 8x for the LSH path.
+# stay well under 8x for the LSH path. BENCH_ONLY restricts which suites
+# run (comma list of kernels,shuffle,lsh,sigstore,serving; default all)
+# — suites not listed keep their positional slot but are skipped.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+only="${BENCH_ONLY:-kernels,shuffle,lsh,sigstore,serving}"
+wants() { case ",$only," in *",$1,"*) return 0 ;; *) return 1 ;; esac }
 
 kernels_out="${1:-BENCH_kernels.json}"
 shuffle_out="${2:-BENCH_shuffle.json}"
 lsh_out="${3:-BENCH_lsh.json}"
 sigstore_out="${4:-BENCH_sigstore.json}"
+serving_out="${5:-BENCH_serving.json}"
 benchtime="${BENCHTIME:-0.5s}"
 
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -72,22 +81,37 @@ END { print "\n  ]\n}" }
 '
 }
 
-go test -run '^$' -bench 'Similarity|Sketch|BuildMatrix|Greedy1000|Hierarchical500' \
-  -benchmem -benchtime "$benchtime" ./internal/minhash/ ./internal/cluster/ |
-  to_json > "$kernels_out"
-echo "wrote $kernels_out"
+if wants kernels; then
+  go test -run '^$' -bench 'Similarity|Sketch|BuildMatrix|Greedy1000|Hierarchical500' \
+    -benchmem -benchtime "$benchtime" ./internal/minhash/ ./internal/cluster/ |
+    to_json > "$kernels_out"
+  echo "wrote $kernels_out"
+fi
 
-go test -run '^$' -bench 'Shuffle|PartitionSort|MergeRuns' \
-  -benchmem -benchtime "$benchtime" ./internal/mapreduce/ |
-  to_json > "$shuffle_out"
-echo "wrote $shuffle_out"
+if wants shuffle; then
+  go test -run '^$' -bench 'Shuffle|PartitionSort|MergeRuns' \
+    -benchmem -benchtime "$benchtime" ./internal/mapreduce/ |
+    to_json > "$shuffle_out"
+  echo "wrote $shuffle_out"
+fi
 
-go test -run '^$' -bench 'ClusterExactScale|ClusterLSHCCScale' \
-  -benchtime 1x -timeout 30m ./internal/core/ |
-  to_json > "$lsh_out"
-echo "wrote $lsh_out"
+if wants lsh; then
+  go test -run '^$' -bench 'ClusterExactScale|ClusterLSHCCScale' \
+    -benchtime 1x -timeout 30m ./internal/core/ |
+    to_json > "$lsh_out"
+  echo "wrote $lsh_out"
+fi
 
-go test -run '^$' -bench 'SigStore' \
-  -benchmem -benchtime "$benchtime" ./internal/sigstore/ |
-  to_json > "$sigstore_out"
-echo "wrote $sigstore_out"
+if wants sigstore; then
+  go test -run '^$' -bench 'SigStore' \
+    -benchmem -benchtime "$benchtime" ./internal/sigstore/ |
+    to_json > "$sigstore_out"
+  echo "wrote $sigstore_out"
+fi
+
+if wants serving; then
+  go test -run '^$' -bench 'Serving' \
+    -benchmem -benchtime "$benchtime" ./internal/serve/ |
+    to_json > "$serving_out"
+  echo "wrote $serving_out"
+fi

@@ -3,7 +3,9 @@
 # scheduling, recovery, re-execution, output commit), the fault injector,
 # the stage-checkpoint journal, the clustering kernels (greedy/LSH/
 # connected components — the stages the LSH pipeline re-executes under
-# faults) and the sharded signature store must stay above the floor, so regressions in the chaos and
+# faults), the sharded signature store, and the serving layer (WAL,
+# crash-safe drain/recovery, backpressured ingest) must stay above the
+# floor, so regressions in the chaos and
 # resume paths show up as uncovered lines before they show up as lost
 # jobs. Wired as a blocking CI step; run locally with:
 #
@@ -12,7 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FLOOR="${COVERAGE_FLOOR:-75}"
-PKGS="./internal/mapreduce/... ./internal/faults/... ./internal/checkpoint/... ./internal/cluster/... ./internal/sigstore/..."
+PKGS="./internal/mapreduce/... ./internal/faults/... ./internal/checkpoint/... ./internal/cluster/... ./internal/sigstore/... ./internal/ingest/... ./internal/serve/..."
 
 # shellcheck disable=SC2086
 go test -count=1 -coverprofile=coverage.out -covermode=atomic $PKGS
