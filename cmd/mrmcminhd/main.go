@@ -27,7 +27,6 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -71,6 +70,7 @@ func run() error {
 		queueDepth = flag.Int("queue-depth", 16, "bounded commit queue depth (batches)")
 		maxInFl    = flag.Int("max-inflight", 64, "max concurrently admitted submit requests before shedding")
 		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-submit-request deadline")
+		readTO     = flag.Duration("http-read-timeout", 30*time.Second, "HTTP read deadline (headers+body); bounds how long a slow client can hold a connection")
 		ingestList = flag.String("ingest", "", "comma-separated FASTA/FASTQ files to ingest on startup")
 		ingestURL  = flag.String("ingest-url", "", "HTTP(S) URL of a FASTA/FASTQ stream to ingest on startup")
 		drainAfter = flag.Bool("drain-after-ingest", false, "drain, checkpoint, and exit once startup ingest completes")
@@ -118,7 +118,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Mux()}
+	// serve.NewHTTPServer sets read/idle deadlines so a slowloris client
+	// cannot hold an intake slot forever.
+	httpSrv := serve.NewHTTPServer(srv.Mux(), *readTO)
 	httpDone := make(chan error, 1)
 	go func() { httpDone <- httpSrv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "mrmcminhd: serving on %s (data dir %s, %d recovered reads)\n",

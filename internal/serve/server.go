@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -54,11 +55,14 @@ func (c ServerConfig) withDefaults() ServerConfig {
 }
 
 // ServerStats extends the state counters with request-path counters.
+// Accepted counts only non-duplicate reads admitted over HTTP, so for a
+// server fed exclusively by HTTP submits, accepted == acked.
 type ServerStats struct {
 	Stats
 	Accepted         int64 `json:"accepted"`
 	Shed             int64 `json:"shed"`
 	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	WriteErrors      int64 `json:"write_errors"`
 	InFlight         int64 `json:"in_flight"`
 	Draining         bool  `json:"draining"`
 }
@@ -91,6 +95,7 @@ type Server struct {
 	accepted         atomic.Int64
 	shed             atomic.Int64
 	deadlineExceeded atomic.Int64
+	writeErrors      atomic.Int64
 	fatal            atomic.Pointer[fatalErr]
 
 	// Latency measures submit requests end to end (admission through
@@ -226,14 +231,31 @@ type submitResponse struct {
 	Results []Ack `json:"results"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes the response body. An encode failure after the
+// status line is gone cannot be reported to the client, but it must not
+// vanish either: log it and count it (surfaced as write_errors in
+// /v1/stats).
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.writeErrors.Add(1)
+		log.Printf("serve: writing %T response: %v", v, err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// writeBody streams pre-encoded bytes with the same log-and-count
+// discipline.
+func (s *Server) writeBody(w http.ResponseWriter, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
+	if _, err := w.Write(body); err != nil {
+		s.writeErrors.Add(1)
+		log.Printf("serve: writing %s response: %v", contentType, err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, map[string]string{"error": msg})
 }
 
 // shedResponse is the load-shedding reply: 503 with a Retry-After so
@@ -241,13 +263,13 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 func (s *Server) shedResponse(w http.ResponseWriter, msg string) {
 	s.shed.Add(1)
 	w.Header().Set("Retry-After", "1")
-	writeError(w, http.StatusServiceUnavailable, msg)
+	s.writeError(w, http.StatusServiceUnavailable, msg)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if f := s.Fatal(); f != nil {
-		writeError(w, http.StatusServiceUnavailable, f.Error())
+		s.writeError(w, http.StatusServiceUnavailable, f.Error())
 		return
 	}
 	// Admission control before reading the body: a saturated server
@@ -261,21 +283,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	var req submitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	if len(req.Reads) == 0 {
-		writeError(w, http.StatusBadRequest, "no reads")
+		s.writeError(w, http.StatusBadRequest, "no reads")
 		return
 	}
 	if len(req.Reads) > s.cfg.MaxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		s.writeError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Reads), s.cfg.MaxBatch))
 		return
 	}
 	for _, rd := range req.Reads {
 		if rd.ID == "" {
-			writeError(w, http.StatusBadRequest, "read with empty id")
+			s.writeError(w, http.StatusBadRequest, "read with empty id")
 			return
 		}
 	}
@@ -299,27 +321,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.shedResponse(w, "commit queue full")
 		return
 	case err == errDraining:
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		s.writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	case err != nil:
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		s.writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	select {
 	case res := <-cr.done:
 		if res.err != nil {
 			if !errors.As(res.err, new(*faults.ServiceCrashError)) {
-				writeError(w, http.StatusInternalServerError, res.err.Error())
+				s.writeError(w, http.StatusInternalServerError, res.err.Error())
 				return
 			}
 			// An injected crash still acked the batch durably first.
 		}
-		s.accepted.Add(int64(len(batch)))
+		// Count only non-duplicate acks: accepted tracks reads admitted
+		// into the corpus, so accepted == acked for HTTP-only intake
+		// (duplicates are reported separately).
+		var fresh int64
+		for _, a := range res.acks {
+			if !a.Duplicate {
+				fresh++
+			}
+		}
+		s.accepted.Add(fresh)
 		s.Latency.Observe(time.Since(start))
-		writeJSON(w, http.StatusOK, submitResponse{Results: res.acks})
+		s.writeJSON(w, http.StatusOK, submitResponse{Results: res.acks})
 	case <-ctx.Done():
 		s.deadlineExceeded.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "deadline exceeded waiting for commit")
+		s.writeError(w, http.StatusServiceUnavailable, "deadline exceeded waiting for commit")
 	}
 }
 
@@ -327,32 +358,34 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	info, ok := s.st.Assignment(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown read id")
+		s.writeError(w, http.StatusNotFound, "unknown read id")
 		return
 	}
-	writeJSON(w, http.StatusOK, info)
+	s.writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"clusters": s.st.Clusters()})
+	// The body is memoized on the pinned view: encoded once per epoch,
+	// shared by every request until the next commit publishes.
+	s.writeBody(w, "application/json", s.st.loadView().clustersBody())
 }
 
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	label, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "cluster id must be an integer")
+		s.writeError(w, http.StatusBadRequest, "cluster id must be an integer")
 		return
 	}
 	info, ok := s.st.Cluster(label)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown cluster")
+		s.writeError(w, http.StatusNotFound, "unknown cluster")
 		return
 	}
-	writeJSON(w, http.StatusOK, info)
+	s.writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleDiversity(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.st.Diversity())
+	s.writeBody(w, "application/json", s.st.loadView().diversityBody())
 }
 
 // ServerStatsSnapshot collects the full counter set.
@@ -365,6 +398,7 @@ func (s *Server) ServerStatsSnapshot() ServerStats {
 		Accepted:         s.accepted.Load(),
 		Shed:             s.shed.Load(),
 		DeadlineExceeded: s.deadlineExceeded.Load(),
+		WriteErrors:      s.writeErrors.Load(),
 		InFlight:         s.inFlight.Load(),
 		Draining:         draining,
 	}
@@ -372,7 +406,7 @@ func (s *Server) ServerStatsSnapshot() ServerStats {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := s.ServerStatsSnapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"stats":  stats,
 		"p50_ms": float64(s.Latency.Quantile(0.50)) / float64(time.Millisecond),
 		"p99_ms": float64(s.Latency.Quantile(0.99)) / float64(time.Millisecond),
@@ -380,19 +414,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAssignments(w http.ResponseWriter, r *http.Request) {
+	// Pin one view before the first byte goes out: every row resolves
+	// from immutable arrays, so resolution cannot fail mid-stream. The
+	// only possible error is the client's connection dying — never
+	// append error text to a 200 body (this TSV is the exact artifact
+	// the chaos harness compares byte-for-byte), just log and count.
+	v := s.st.loadView()
 	w.Header().Set("Content-Type", "text/tab-separated-values")
-	if err := s.st.DumpTSV(w); err != nil {
-		// Headers are out; nothing better to do than log via status text.
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if err := v.dumpTSV(w); err != nil {
+		s.writeErrors.Add(1)
+		log.Printf("serve: streaming assignments dump: %v", err)
 	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if err := s.Fatal(); err != nil {
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		s.writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -400,14 +440,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.sendMu.RUnlock()
 	if draining {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		s.writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	if err := s.Fatal(); err != nil {
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		s.writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // Mux wires every endpoint (method + wildcard patterns).
@@ -428,4 +468,24 @@ func (s *Server) Mux() *http.ServeMux {
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// NewHTTPServer wraps h in an http.Server with the timeouts a
+// public-facing intake server needs. Without a read deadline, a
+// slowloris client that trickles header or body bytes holds its
+// connection — and, once the handler starts, an admission slot —
+// indefinitely, wedging intake for everyone else. readTimeout caps the
+// whole request read (headers + body); 0 takes the 30s default.
+// WriteTimeout stays unset on purpose: /v1/assignments streams the
+// whole corpus and /debug/pprof/profile runs for 30s by design.
+func NewHTTPServer(h http.Handler, readTimeout time.Duration) *http.Server {
+	if readTimeout <= 0 {
+		readTimeout = 30 * time.Second
+	}
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readTimeout,
+		ReadTimeout:       readTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 }

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -303,6 +306,105 @@ func TestDrainStopsIntakeAndCheckpoints(t *testing.T) {
 	defer st2.Close()
 	if _, ok := st2.Assignment("a"); !ok {
 		t.Fatal("acked read lost across drain")
+	}
+}
+
+// TestStatsAcceptedMatchesAcked: accepted counts only non-duplicate
+// HTTP acks, so for HTTP-only intake accepted == acked and
+// accepted + duplicates == total submitted reads.
+func TestStatsAcceptedMatchesAcked(t *testing.T) {
+	srv, hts := newTestServer(t, testParams(), ServerConfig{}, nil)
+	reads := []submitRead{
+		{ID: "a", Seq: "ACGTACGTACGTACGTACGTACGTACGT"},
+		{ID: "b", Seq: "TTTTTTTTGGGGGGGGCCCCAAAATTGG"},
+		{ID: "c", Seq: "ACGTACGTACGTACGTACGTACGTACGT"},
+	}
+	if resp, _ := postReads(t, hts.URL, reads); resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit %d", resp.StatusCode)
+	}
+	// Resubmit two (both duplicates) and a batch with an in-batch repeat
+	// (one fresh, one duplicate).
+	if resp, _ := postReads(t, hts.URL, reads[:2]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit %d", resp.StatusCode)
+	}
+	dup := []submitRead{
+		{ID: "d", Seq: "GGGGCCCCAAAATTTTGGGGCCCCAAAA"},
+		{ID: "d", Seq: "GGGGCCCCAAAATTTTGGGGCCCCAAAA"},
+	}
+	if resp, _ := postReads(t, hts.URL, dup); resp.StatusCode != http.StatusOK {
+		t.Fatalf("dup batch %d", resp.StatusCode)
+	}
+
+	stats := srv.ServerStatsSnapshot()
+	if stats.Accepted != 4 {
+		t.Fatalf("accepted = %d, want 4 (a, b, c, d)", stats.Accepted)
+	}
+	if stats.Accepted != stats.Acked {
+		t.Fatalf("invariant violated: accepted %d != acked %d", stats.Accepted, stats.Acked)
+	}
+	if stats.Duplicates != 3 {
+		t.Fatalf("duplicates = %d, want 3", stats.Duplicates)
+	}
+	if submitted := int64(7); stats.Accepted+stats.Duplicates != submitted {
+		t.Fatalf("accepted %d + duplicates %d != submitted %d",
+			stats.Accepted, stats.Duplicates, submitted)
+	}
+}
+
+// TestHTTPServerDropsSlowloris: a client that sends a partial request
+// and stalls must be disconnected by the server's read deadline instead
+// of holding its connection (and, once admitted, an intake slot)
+// forever — and the server keeps serving well-behaved clients.
+func TestHTTPServerDropsSlowloris(t *testing.T) {
+	def := NewHTTPServer(nil, 0)
+	if def.ReadTimeout != 30*time.Second || def.ReadHeaderTimeout != 30*time.Second || def.IdleTimeout == 0 {
+		t.Fatalf("defaults: read=%v header=%v idle=%v",
+			def.ReadTimeout, def.ReadHeaderTimeout, def.IdleTimeout)
+	}
+
+	st, err := Open(t.TempDir(), testParams(), false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(st, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := NewHTTPServer(srv.Mux(), 200*time.Millisecond)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	t.Cleanup(func() {
+		hs.Close()
+		st.Close()
+	})
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request, then silence: headers incomplete, body never sent.
+	if _, err := conn.Write([]byte("POST /v1/reads HTTP/1.1\r\nHost: slow\r\nContent-Length: 1000\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				t.Fatal("server kept the slowloris connection open past its read timeout")
+			}
+			break // EOF / reset: server dropped the stalled client
+		}
+	}
+
+	// The stalled client must not have wedged intake for anyone else.
+	resp, out := postReads(t, "http://"+ln.Addr().String(), []submitRead{{ID: "x", Seq: "ACGTACGTACGTACGT"}})
+	if resp.StatusCode != http.StatusOK || len(out.Results) != 1 {
+		t.Fatalf("healthy client after slowloris: status %d results %+v", resp.StatusCode, out.Results)
 	}
 }
 

@@ -9,18 +9,14 @@
 package serve
 
 import (
-	"bufio"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 
 	"github.com/metagenomics/mrmcminh/internal/cluster"
@@ -86,7 +82,9 @@ type Ack struct {
 
 // State is the clustered corpus plus its durability machinery. Commit
 // methods must be called from a single goroutine (the server's
-// committer); query methods are safe from any goroutine.
+// committer); query methods are safe from any goroutine and take no
+// locks — they load the latest published readView (one atomic pointer
+// load) and walk its immutable arrays.
 type State struct {
 	params Params
 	dir    string
@@ -96,10 +94,16 @@ type State struct {
 	wal    *WAL
 	inj    *faults.Injector
 
-	mu           sync.RWMutex // guards assign, clusterSizes, repDense
-	assign       []int32      // dense id -> cluster label
-	clusterSizes []int32
-	repDense     []uint32 // label -> dense id of the representative
+	// Committer-owned builders: chunked columns the published views
+	// window into. Only the single committer goroutine touches them.
+	assignB   appendChunks[int32]  // dense id -> cluster label
+	idsB      appendChunks[string] // dense id -> external read ID
+	sizesB    cowChunks            // label -> cluster size
+	repDenseB appendChunks[uint32] // label -> dense id of the representative
+	repIDB    appendChunks[string] // label -> external ID of the representative
+
+	view  atomic.Pointer[readView] // the epoch every query reads
+	index *denseIndex              // lock-free external ID -> dense ID
 
 	acked      atomic.Int64 // reads durably acknowledged (excludes duplicates)
 	duplicates atomic.Int64
@@ -216,6 +220,7 @@ func Open(dir string, p Params, resume bool, inj *faults.Injector) (*State, erro
 		return nil, err
 	}
 	st.inc = inc
+	st.index = newDenseIndex(st.store.Len())
 
 	// Replay the snapshot corpus: assignments are a pure function of
 	// dense order, so re-running the incremental clusterer over
@@ -240,6 +245,7 @@ func Open(dir string, p Params, resume bool, inj *faults.Injector) (*State, erro
 		return nil, fmt.Errorf("serve: WAL replay: %w", err)
 	}
 	st.recovered = int64(st.store.Len())
+	st.publish()
 
 	wal, err := OpenWAL(walPath, durable)
 	if err != nil {
@@ -303,16 +309,21 @@ func (st *State) applyRead(id string, sig minhash.Signature) (int, error) {
 	if err := st.store.Put(dense, sig); err != nil {
 		return 0, err
 	}
-	return st.applyDenseClustered(dense)
+	return st.applyDenseClustered(dense, id)
 }
 
-// applyDense clusters an already-stored read (recovery replay).
+// applyDense clusters an already-stored read (recovery replay), fetching
+// its external ID from the restored translator.
 func (st *State) applyDense(dense uint32) error {
-	_, err := st.applyDenseClustered(dense)
+	id, ok := st.store.Translator().Key(dense)
+	if !ok {
+		return fmt.Errorf("serve: dense ID %d has no key", dense)
+	}
+	_, err := st.applyDenseClustered(dense, id)
 	return err
 }
 
-func (st *State) applyDenseClustered(dense uint32) (int, error) {
+func (st *State) applyDenseClustered(dense uint32, id string) (int, error) {
 	if err := st.live.appendRow(st.store, dense); err != nil {
 		return 0, err
 	}
@@ -320,16 +331,37 @@ func (st *State) applyDenseClustered(dense uint32) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	st.mu.Lock()
-	st.assign = append(st.assign, int32(label))
-	if label == len(st.clusterSizes) {
-		st.clusterSizes = append(st.clusterSizes, 0)
-		st.repDense = append(st.repDense, dense)
+	st.assignB.append(int32(label))
+	st.idsB.append(id)
+	if label == st.sizesB.n {
+		st.sizesB.append(0)
+		st.repDenseB.append(dense)
+		st.repIDB.append(id)
 	}
-	st.clusterSizes[label]++
-	st.mu.Unlock()
+	st.sizesB.inc(label)
+	st.index.insert(id, dense)
 	return label, nil
 }
+
+// publish freezes the builders into a new readView and swaps it in for
+// every subsequent query. Called by the committer after each batch (and
+// once at Open): O(reads in batch + labels touched), never O(corpus).
+func (st *State) publish() {
+	v := &readView{
+		assign:   st.assignB.view(),
+		ids:      st.idsB.view(),
+		sizes:    st.sizesB.view(),
+		repDense: st.repDenseB.view(),
+		repID:    st.repIDB.view(),
+		sigBytes: st.store.ResidentBytes(),
+	}
+	v.reads = v.assign.len()
+	v.labels = v.sizes.len()
+	st.view.Store(v)
+}
+
+// loadView pins the current epoch for a query.
+func (st *State) loadView() *readView { return st.view.Load() }
 
 // CommitBatch durably commits a batch: WAL-append every new read, one
 // group fsync, then apply to the store and clusterer. Acks are returned
@@ -341,7 +373,7 @@ func (st *State) CommitBatch(batch []ingest.Sketched) ([]Ack, error) {
 	inBatch := make(map[string]bool, len(batch))
 	var fresh int64
 	for _, s := range batch {
-		if _, ok := st.store.Translator().Lookup(s.ID); ok || inBatch[s.ID] {
+		if _, ok := st.index.lookup(s.ID); ok || inBatch[s.ID] {
 			continue
 		}
 		inBatch[s.ID] = true
@@ -356,22 +388,20 @@ func (st *State) CommitBatch(batch []ingest.Sketched) ([]Ack, error) {
 	// mid-apply, Open replays these records idempotently.
 	acks := make([]Ack, len(batch))
 	for i, s := range batch {
-		if dense, ok := st.store.Translator().Lookup(s.ID); ok {
+		if dense, ok := st.index.lookup(s.ID); ok {
 			st.duplicates.Add(1)
-			st.mu.RLock()
-			label := st.assign[dense]
-			st.mu.RUnlock()
-			acks[i] = Ack{ID: s.ID, Read: int(dense), Cluster: int(label), Duplicate: true}
+			acks[i] = Ack{ID: s.ID, Read: int(dense), Cluster: int(st.assignB.at(int(dense))), Duplicate: true}
 			continue
 		}
 		label, err := st.applyRead(s.ID, s.Sig)
 		if err != nil {
 			return nil, err
 		}
-		dense, _ := st.store.Translator().Lookup(s.ID)
+		dense, _ := st.index.lookup(s.ID)
 		acks[i] = Ack{ID: s.ID, Read: int(dense), Cluster: label}
 		fresh++
 	}
+	st.publish()
 	total := st.acked.Add(fresh)
 	if st.inj.ServiceCrashNow(total + st.recovered) {
 		return acks, &faults.ServiceCrashError{Acked: total + st.recovered}
@@ -441,7 +471,11 @@ func writeFileAtomic(path string, data []byte) error {
 // simulated crash (don't).
 func (st *State) Close() error { return st.wal.Close() }
 
-// ---- queries (safe from any goroutine) ----
+// ---- queries (safe from any goroutine; zero locks) ----
+//
+// Every query loads the latest readView once and answers entirely from
+// it: no mutex, no translator shard locks, no per-request copies, and
+// a consistent epoch even while the committer keeps publishing.
 
 // ReadInfo answers "where did my read go".
 type ReadInfo struct {
@@ -453,21 +487,15 @@ type ReadInfo struct {
 
 // Assignment looks a read up by external ID.
 func (st *State) Assignment(id string) (ReadInfo, bool) {
-	dense, ok := st.store.Translator().Lookup(id)
-	if !ok {
+	v := st.loadView()
+	dense, ok := st.index.lookup(id)
+	if !ok || int(dense) >= v.reads {
+		// Unknown, or indexed mid-commit but not yet published: a read
+		// becomes visible only once its batch's view is up.
 		return ReadInfo{}, false
 	}
-	st.mu.RLock()
-	if int(dense) >= len(st.assign) {
-		// Translated but not yet applied (mid-commit): not visible yet.
-		st.mu.RUnlock()
-		return ReadInfo{}, false
-	}
-	label := st.assign[dense]
-	rep := st.repDense[label]
-	st.mu.RUnlock()
-	repID, _ := st.store.Translator().Key(rep)
-	return ReadInfo{ID: id, Read: int(dense), Cluster: int(label), Representative: repID}, true
+	label := v.assign.at(int(dense))
+	return ReadInfo{ID: id, Read: int(dense), Cluster: int(label), Representative: v.repID.at(int(label))}, true
 }
 
 // ClusterInfo summarizes one cluster.
@@ -479,31 +507,18 @@ type ClusterInfo struct {
 
 // Cluster returns one cluster's summary.
 func (st *State) Cluster(label int) (ClusterInfo, bool) {
-	st.mu.RLock()
-	if label < 0 || label >= len(st.clusterSizes) {
-		st.mu.RUnlock()
+	v := st.loadView()
+	if label < 0 || label >= v.labels {
 		return ClusterInfo{}, false
 	}
-	size := st.clusterSizes[label]
-	rep := st.repDense[label]
-	st.mu.RUnlock()
-	repID, _ := st.store.Translator().Key(rep)
-	return ClusterInfo{Cluster: label, Size: int(size), Representative: repID}, true
+	return ClusterInfo{Cluster: label, Size: int(v.sizes.at(label)), Representative: v.repID.at(label)}, true
 }
 
-// Clusters lists every cluster, largest first (ties by label).
+// Clusters lists every cluster, largest first (ties by label). The
+// slice is the view's memoized summary, shared across callers — treat
+// it as read-only.
 func (st *State) Clusters() []ClusterInfo {
-	st.mu.RLock()
-	sizes := append([]int32(nil), st.clusterSizes...)
-	reps := append([]uint32(nil), st.repDense...)
-	st.mu.RUnlock()
-	out := make([]ClusterInfo, len(sizes))
-	for i := range out {
-		repID, _ := st.store.Translator().Key(reps[i])
-		out[i] = ClusterInfo{Cluster: i, Size: int(sizes[i]), Representative: repID}
-	}
-	sort.SliceStable(out, func(a, b int) bool { return out[a].Size > out[b].Size })
-	return out
+	return st.loadView().clustersList()
 }
 
 // Diversity summarizes the community structure the paper's pipeline
@@ -518,29 +533,9 @@ type Diversity struct {
 	Simpson    float64 `json:"simpson"`
 }
 
-// Diversity computes the current summary.
+// Diversity returns the current epoch's memoized summary.
 func (st *State) Diversity() Diversity {
-	st.mu.RLock()
-	sizes := append([]int32(nil), st.clusterSizes...)
-	reads := len(st.assign)
-	st.mu.RUnlock()
-	d := Diversity{Reads: reads, Clusters: len(sizes)}
-	if reads == 0 {
-		return d
-	}
-	n := float64(reads)
-	for _, s := range sizes {
-		if s == 1 {
-			d.Singletons++
-		}
-		if int(s) > d.Largest {
-			d.Largest = int(s)
-		}
-		p := float64(s) / n
-		d.Shannon -= p * math.Log(p)
-		d.Simpson += p * p
-	}
-	return d
+	return st.loadView().diversitySummary()
 }
 
 // Stats is the service-level counter snapshot.
@@ -555,35 +550,21 @@ type Stats struct {
 
 // Stats snapshots the counters.
 func (st *State) Stats() Stats {
-	st.mu.RLock()
-	reads := len(st.assign)
-	clusters := len(st.clusterSizes)
-	st.mu.RUnlock()
+	v := st.loadView()
 	return Stats{
-		Reads:      reads,
-		Clusters:   clusters,
+		Reads:      v.reads,
+		Clusters:   v.labels,
 		Acked:      st.acked.Load(),
 		Recovered:  st.recovered,
 		Duplicates: st.duplicates.Load(),
-		SigBytes:   st.store.ResidentBytes(),
+		SigBytes:   v.sigBytes,
 	}
 }
 
 // DumpTSV writes "read_id<TAB>cluster" rows in dense (commit) order —
 // the artifact the chaos harness compares across crash and recovery.
+// It streams straight from the pinned view: no full-corpus copy, and
+// row resolution cannot fail mid-stream.
 func (st *State) DumpTSV(w io.Writer) error {
-	st.mu.RLock()
-	assign := append([]int32(nil), st.assign...)
-	st.mu.RUnlock()
-	bw := bufio.NewWriter(w)
-	for dense, label := range assign {
-		id, ok := st.store.Translator().Key(uint32(dense))
-		if !ok {
-			return fmt.Errorf("serve: dense ID %d has no key", dense)
-		}
-		if _, err := fmt.Fprintf(bw, "%s\t%d\n", id, label); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return st.loadView().dumpTSV(w)
 }

@@ -10,7 +10,9 @@
 # similarity/band-hash latency, snapshot cost, full vs b-bit packed) as
 # BENCH_sigstore.json; and the serving benchmarks of internal/serve —
 # sustained concurrent HTTP submit load through the full WAL-acked
-# commit path, plus assignment-query latency — as BENCH_serving.json.
+# commit path, plus a multi-worker connection-multiplexed query mix
+# (point lookups + cluster listings + diversity) against the lock-free
+# epoch-published read view — as BENCH_serving.json.
 # Custom metrics reported via b.ReportMetric — e.g. the store's resident
 # "sig-bytes/read" or the server's "p99-ns/req" tail latency — land in
 # each benchmark's "extra" object. scripts/bench_gate.sh replays this
